@@ -1,0 +1,87 @@
+//! Criterion benchmarks for §4.2's claims about compact forms:
+//!
+//! * BPT-guided processing "in the worst case … doubles the processing
+//!   time" but is much cheaper on average — compare engine traversal
+//!   against the plain recursion;
+//! * compact forms are cheaper to ship than full forms;
+//! * the server-side CPU drop the paper measured for APRO vs FPRO
+//!   (0.0081 s → 0.0067 s) has the right direction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pc_geom::{Point, Rect};
+use pc_rtree::bpt::BptStore;
+use pc_rtree::engine::{execute, AccessLog, NoopTracer};
+use pc_rtree::proto::QuerySpec;
+use pc_rtree::query::range_query;
+use pc_rtree::view::FullView;
+use pc_rtree::{RTree, RTreeConfig};
+use pc_server::{build_shipments, FormMode};
+use pc_workload::datasets;
+use std::hint::black_box;
+
+fn setup(n: usize) -> (RTree, BptStore) {
+    let store = datasets::ne_like(n, 4);
+    let objects: Vec<_> = store.iter().copied().collect();
+    let tree = RTree::bulk_load(RTreeConfig::paper(), &objects);
+    let bpts = BptStore::build(&tree);
+    (tree, bpts)
+}
+
+fn bench_bpt_build(c: &mut Criterion) {
+    let store = datasets::ne_like(50_000, 5);
+    let objects: Vec<_> = store.iter().copied().collect();
+    let tree = RTree::bulk_load(RTreeConfig::paper(), &objects);
+    let mut g = c.benchmark_group("forms/offline");
+    g.sample_size(10);
+    g.bench_function("bpt_build_50k", |b| {
+        b.iter(|| BptStore::build(black_box(&tree)))
+    });
+    g.finish();
+}
+
+fn bench_engine_vs_plain(c: &mut Criterion) {
+    let (tree, bpts) = setup(100_000);
+    let view = FullView::new(&tree, &bpts);
+    let w = Rect::centered_square(Point::new(0.31, 0.36), 0.02);
+    let spec = QuerySpec::Range { window: w };
+
+    let mut g = c.benchmark_group("forms/range_traversal");
+    g.bench_function("plain_recursion", |b| {
+        b.iter(|| range_query(&tree, black_box(&w)))
+    });
+    g.bench_function("bpt_engine", |b| {
+        b.iter(|| execute(&view, black_box(&spec), &mut NoopTracer))
+    });
+    g.finish();
+}
+
+fn bench_form_construction(c: &mut Criterion) {
+    let (tree, bpts) = setup(100_000);
+    let view = FullView::new(&tree, &bpts);
+    let spec = QuerySpec::Knn {
+        center: Point::new(0.31, 0.36),
+        k: 5,
+    };
+    let mut log = AccessLog::default();
+    let _ = execute(&view, &spec, &mut log);
+
+    let mut g = c.benchmark_group("forms/build_shipments");
+    for (name, mode) in [
+        ("full", FormMode::Full),
+        ("compact", FormMode::COMPACT),
+        ("d2", FormMode::DLevel(2)),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| build_shipments(black_box(&log), &tree, &bpts, mode))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_bpt_build,
+    bench_engine_vs_plain,
+    bench_form_construction
+);
+criterion_main!(benches);

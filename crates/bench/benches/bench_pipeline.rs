@@ -1,0 +1,99 @@
+//! Criterion benchmarks for the end-to-end pipelines: one warm-cache query
+//! through each caching model (client stage ① + server stage ② + absorb).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pc_baselines::{PageCache, SemanticCache};
+use pc_cache::{Catalog, ReplacementPolicy};
+use pc_client::Client;
+use pc_geom::{Point, Rect};
+use pc_rtree::proto::QuerySpec;
+use pc_rtree::RTreeConfig;
+use pc_server::{FormPolicy, Server, ServerConfig};
+use pc_workload::datasets;
+use std::hint::black_box;
+
+fn make_server(n: usize) -> Server {
+    Server::new(
+        datasets::ne_like(n, 11),
+        RTreeConfig::paper(),
+        ServerConfig {
+            form: FormPolicy::Adaptive,
+            ..Default::default()
+        },
+    )
+}
+
+fn warm_specs() -> Vec<QuerySpec> {
+    // A tight cluster of queries around one spot: the warm-up and the
+    // benchmarked queries share locality, as in the mobile scenario.
+    let p = Point::new(0.31, 0.36);
+    vec![
+        QuerySpec::Range {
+            window: Rect::centered_square(p, 0.02),
+        },
+        QuerySpec::Knn { center: p, k: 5 },
+        QuerySpec::Range {
+            window: Rect::centered_square(Point::new(0.315, 0.355), 0.02),
+        },
+    ]
+}
+
+fn bench_proactive(c: &mut Criterion) {
+    let server = make_server(50_000);
+    c.bench_function("pipeline/proactive_warm_knn", |b| {
+        let mut client = Client::new(1 << 22, ReplacementPolicy::Grd3, Catalog::from_tree(server.tree()));
+        for spec in warm_specs() {
+            client.begin_query();
+            let local = client.run_local(&spec);
+            if let Some(rq) = &local.remainder {
+                let reply = server.process_remainder(0, rq);
+                client.absorb(&reply, Point::new(0.31, 0.36));
+            }
+        }
+        let spec = QuerySpec::Knn {
+            center: Point::new(0.312, 0.358),
+            k: 5,
+        };
+        b.iter(|| {
+            client.begin_query();
+            let local = client.run_local(black_box(&spec));
+            if let Some(rq) = &local.remainder {
+                let reply = server.process_remainder(0, rq);
+                client.absorb(&reply, Point::new(0.31, 0.36));
+            }
+            local.saved.len()
+        })
+    });
+}
+
+fn bench_semantic(c: &mut Criterion) {
+    let server = make_server(50_000);
+    c.bench_function("pipeline/semantic_warm_range", |b| {
+        let mut sem = SemanticCache::new(1 << 22);
+        let pos = Point::new(0.31, 0.36);
+        for spec in warm_specs() {
+            sem.query(&server, &spec, pos, 0.0);
+        }
+        let spec = QuerySpec::Range {
+            window: Rect::centered_square(Point::new(0.312, 0.358), 0.02),
+        };
+        b.iter(|| sem.query(&server, black_box(&spec), pos, 0.0).objects.len())
+    });
+}
+
+fn bench_page(c: &mut Criterion) {
+    let server = make_server(50_000);
+    c.bench_function("pipeline/page_warm_range", |b| {
+        let mut pag = PageCache::new(1 << 22);
+        for spec in warm_specs() {
+            pag.query(&server, &spec, 0.0);
+        }
+        let spec = QuerySpec::Range {
+            window: Rect::centered_square(Point::new(0.312, 0.358), 0.02),
+        };
+        b.iter(|| pag.query(&server, black_box(&spec), 0.0).objects.len())
+    });
+}
+
+criterion_group!(benches, bench_proactive, bench_semantic, bench_page);
+criterion_main!(benches);

@@ -1,0 +1,163 @@
+//! Criterion benchmarks for §5's efficiency claim: GRD3 must be much
+//! cheaper than the EBRS-recomputing GRD2 at the same eviction outcome
+//! (Theorem 5.5), across cache populations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pc_cache::{ItemKey, ProactiveCache, ReplacementPolicy};
+use pc_geom::{Point, Rect};
+use pc_rtree::bpt::Code;
+use pc_rtree::proto::{CellKind, CellRecord, NodeShipment, ServerReply};
+use pc_rtree::{NodeId, ObjectId, SpatialObject};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+/// Balanced antichain codes for `n` siblings (a spine would exceed the
+/// 32-bit code depth for the larger cache populations benchmarked here).
+fn balanced_codes(n: usize) -> Vec<Code> {
+    fn rec(code: Code, n: usize, out: &mut Vec<Code>) {
+        if n == 1 {
+            out.push(code);
+            return;
+        }
+        let half = n / 2;
+        rec(code.child(false), half, out);
+        rec(code.child(true), n - half, out);
+    }
+    let mut out = Vec::with_capacity(n);
+    rec(Code::ROOT, n, &mut out);
+    out
+}
+
+/// Builds a cache with `leaves` leaf nodes of 8 objects each under one
+/// root, with randomized hit patterns.
+fn build_cache(policy: ReplacementPolicy, leaves: usize, seed: u64) -> ProactiveCache {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut cache = ProactiveCache::new(u64::MAX / 2, policy);
+    let mut root_cells = Vec::new();
+    let codes = balanced_codes(leaves);
+    let mut oid = 0u32;
+    let mut replies = Vec::new();
+    for li in 0..leaves {
+        let leaf = NodeId(1 + li as u32);
+        let my_code = codes[li];
+        let x = (li as f64) / leaves as f64;
+        root_cells.push(CellRecord {
+            code: my_code,
+            mbr: Rect::from_coords(x, 0.0, x + 0.9 / leaves as f64, 0.1),
+            kind: CellKind::Node(leaf),
+        });
+        let mut cells = Vec::new();
+        let mut objects = Vec::new();
+        let mut lcode = Code::ROOT;
+        for oi in 0..8 {
+            let id = ObjectId(oid);
+            oid += 1;
+            let oc = if oi == 7 {
+                lcode
+            } else {
+                let c = lcode.child(false);
+                lcode = lcode.child(true);
+                c
+            };
+            let mbr = Rect::from_point(Point::new(x + oi as f64 * 1e-3, 0.05));
+            cells.push(CellRecord {
+                code: oc,
+                mbr,
+                kind: CellKind::Object(id),
+            });
+            objects.push(SpatialObject {
+                id,
+                mbr,
+                size_bytes: rng.random_range(2_000..20_000),
+            });
+        }
+        replies.push(ServerReply {
+            confirmed: vec![],
+            objects,
+            pairs: vec![],
+            index: vec![NodeShipment {
+                node: leaf,
+                level: 0,
+                parent: Some(NodeId(0)),
+                cells,
+            }],
+            expansions: 0,
+        });
+    }
+    // Root shipment first, then the leaves.
+    cache.absorb(
+        &ServerReply {
+            confirmed: vec![],
+            objects: vec![],
+            pairs: vec![],
+            index: vec![NodeShipment {
+                node: NodeId(0),
+                level: 1,
+                parent: None,
+                cells: root_cells,
+            }],
+            expansions: 0,
+        },
+        1,
+        Point::ORIGIN,
+    );
+    for r in &replies {
+        cache.absorb(r, 1, Point::ORIGIN);
+    }
+    // Randomized access history with ancestor-chain touching.
+    for t in 2..100u64 {
+        let target = ItemKey::Object(ObjectId(rng.random_range(0..oid)));
+        let mut cur = Some(target);
+        while let Some(k) = cur {
+            cur = cache.get(k).and_then(|it| it.meta.parent);
+            cache.touch(k, t);
+        }
+    }
+    cache
+}
+
+fn bench_eviction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("replacement/evict_half");
+    // GRD2 is intentionally quadratic (the reference §5.1 algorithm);
+    // keep sampling light so the 800-leaf point stays in budget.
+    g.sample_size(10);
+    for leaves in [50usize, 200, 800] {
+        for policy in [
+            ReplacementPolicy::Grd3,
+            ReplacementPolicy::Grd2,
+            ReplacementPolicy::Lru,
+            ReplacementPolicy::Far,
+        ] {
+            g.bench_with_input(
+                BenchmarkId::new(policy.name(), leaves),
+                &leaves,
+                |b, &leaves| {
+                    b.iter_batched(
+                        || {
+                            let mut cache = build_cache(policy, leaves, 7);
+                            let cap = cache.used_bytes() / 2;
+                            cache.set_capacity(cap);
+                            cache
+                        },
+                        |mut cache| {
+                            cache.enforce_capacity(black_box(120), Point::new(0.5, 0.5));
+                            cache
+                        },
+                        criterion::BatchSize::LargeInput,
+                    )
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_absorb(c: &mut Criterion) {
+    c.bench_function("replacement/absorb_200_leaves", |b| {
+        b.iter(|| build_cache(ReplacementPolicy::Grd3, 200, black_box(9)))
+    });
+}
+
+criterion_group!(benches, bench_eviction, bench_absorb);
+criterion_main!(benches);

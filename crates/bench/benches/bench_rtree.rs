@@ -1,0 +1,62 @@
+//! Criterion micro-benchmarks for the R*-tree substrate: bulk loading,
+//! dynamic insertion, and the three §3.1 query algorithms.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pc_geom::{Point, Rect};
+use pc_rtree::query::{distance_self_join, knn_query, range_query};
+use pc_rtree::{RTree, RTreeConfig};
+use pc_workload::datasets;
+use std::hint::black_box;
+
+fn bench_bulk_load(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rtree/bulk_load");
+    g.sample_size(10);
+    for n in [10_000usize, 50_000] {
+        let store = datasets::ne_like(n, 1);
+        let objects: Vec<_> = store.iter().copied().collect();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &objects, |b, objs| {
+            b.iter(|| RTree::bulk_load(RTreeConfig::paper(), black_box(objs)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let store = datasets::ne_like(5_000, 2);
+    let objects: Vec<_> = store.iter().copied().collect();
+    let mut g = c.benchmark_group("rtree/dynamic");
+    g.sample_size(10);
+    g.bench_function("insert_5k", |b| {
+        b.iter(|| {
+            let mut tree = RTree::new(RTreeConfig::paper());
+            for o in &objects {
+                tree.insert(black_box(o));
+            }
+            tree
+        })
+    });
+    g.finish();
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let store = datasets::ne_like(100_000, 3);
+    let objects: Vec<_> = store.iter().copied().collect();
+    let tree = RTree::bulk_load(RTreeConfig::paper(), &objects);
+
+    let mut g = c.benchmark_group("rtree/query");
+    g.bench_function("range_1e-3", |b| {
+        let w = Rect::centered_square(Point::new(0.31, 0.36), 0.0316);
+        b.iter(|| range_query(&tree, black_box(&w)))
+    });
+    g.bench_function("knn_5", |b| {
+        let p = Point::new(0.31, 0.36);
+        b.iter(|| knn_query(&tree, black_box(&p), 5))
+    });
+    g.bench_function("self_join", |b| {
+        b.iter(|| distance_self_join(&tree, black_box(6e-5)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_bulk_load, bench_insert, bench_queries);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Figure 10: APRO response time under different cache replacement schemes
+//! (LRU, FAR, GRD3; MRU is included for completeness — the paper notes it
+//! is "always the worst of all" and omits it from the plot), under both
+//! mobility models.
+//!
+//! Paper expectations: LRU wins under DIR (stale areas age out fast), loses
+//! under RAN (it evicts objects the walk returns to); FAR and GRD3 are
+//! position/history based and win under RAN; GRD3 is the most stable across
+//! both models.
+
+use pc_bench::{banner, fmt_s, run_parallel, HarnessOpts, Table};
+use pc_cache::ReplacementPolicy;
+use pc_mobility::MobilityModel;
+use pc_sim::CacheModel;
+
+const POLICIES: [ReplacementPolicy; 4] = [
+    ReplacementPolicy::Lru,
+    ReplacementPolicy::Mru,
+    ReplacementPolicy::Far,
+    ReplacementPolicy::Grd3,
+];
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let mut base = opts.base_config();
+    base.model = CacheModel::Proactive;
+    banner("Figure 10: APRO under replacement schemes", &base);
+
+    let mut configs = Vec::new();
+    for mobility in [MobilityModel::Ran, MobilityModel::Dir] {
+        for policy in POLICIES {
+            let mut cfg = base;
+            cfg.mobility = mobility;
+            cfg.policy = policy;
+            configs.push(cfg);
+        }
+    }
+    let results = run_parallel(&configs);
+
+    let mut t = Table::new(vec!["policy", "RAN resp", "RAN hit_c", "DIR resp", "DIR hit_c"]);
+    for (pi, policy) in POLICIES.iter().enumerate() {
+        let ran = &results[pi].summary;
+        let dir = &results[4 + pi].summary;
+        t.row(vec![
+            policy.name().to_string(),
+            fmt_s(ran.avg_response_s),
+            pc_bench::fmt_pct(ran.hit_c),
+            fmt_s(dir.avg_response_s),
+            pc_bench::fmt_pct(dir.hit_c),
+        ]);
+    }
+    t.print();
+
+    println!("\npaper expectations: MRU worst everywhere; LRU best under DIR;");
+    println!("FAR/GRD3 better under RAN; GRD3 most stable across both.");
+}

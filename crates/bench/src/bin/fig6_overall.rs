@@ -1,0 +1,100 @@
+//! Figure 6: Overall Performance Comparison — PAG vs SEM vs APRO on uplink
+//! bytes, downlink bytes, cache hit rate, byte hit rate and response time
+//! (DIR mobility, |C| = 1 %, NE dataset, mixed range/kNN/join workload).
+//!
+//! The paper normalizes each metric to \[0, 1\] and reports the maximum in
+//! parentheses; this binary prints both the raw values and the normalized
+//! view, plus the paper's qualitative expectations for eyeballing.
+
+use pc_bench::{banner, fmt_bytes, fmt_pct, fmt_s, run_parallel, three_models, HarnessOpts, Table};
+use pc_mobility::MobilityModel;
+
+type MetricFn = Box<dyn Fn(&pc_sim::Summary) -> f64>;
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let mut base = opts.base_config();
+    base.mobility = MobilityModel::Dir;
+    base.cache_frac = 0.01;
+    banner("Figure 6: overall comparison (DIR, |C|=1%)", &base);
+
+    let models = three_models(&base);
+    let results = run_parallel(&models.iter().map(|(_, c)| *c).collect::<Vec<_>>());
+
+    let mut t = Table::new(vec![
+        "model", "uplink", "downlink", "hit_c", "hit_b", "resp",
+    ]);
+    for ((name, _), r) in models.iter().zip(&results) {
+        let s = &r.summary;
+        t.row(vec![
+            name.clone(),
+            fmt_bytes(s.avg_uplink_bytes),
+            fmt_bytes(s.avg_downlink_bytes),
+            fmt_pct(s.hit_c),
+            fmt_pct(s.hit_b),
+            fmt_s(s.avg_response_s),
+        ]);
+    }
+    t.print();
+
+    // Normalized view (paper style: value / max, max in parens).
+    println!("\nnormalized to the per-metric maximum:");
+    let max = |f: &dyn Fn(&pc_sim::Summary) -> f64| {
+        results
+            .iter()
+            .map(|r| f(&r.summary))
+            .fold(f64::MIN, f64::max)
+    };
+    let metrics: Vec<(&str, MetricFn, String)> = vec![
+        (
+            "Uplink Bytes",
+            Box::new(|s: &pc_sim::Summary| s.avg_uplink_bytes),
+            fmt_bytes(max(&|s| s.avg_uplink_bytes)),
+        ),
+        (
+            "Downlink Bytes",
+            Box::new(|s: &pc_sim::Summary| s.avg_downlink_bytes),
+            fmt_bytes(max(&|s| s.avg_downlink_bytes)),
+        ),
+        (
+            "Cache Hit Rate",
+            Box::new(|s: &pc_sim::Summary| s.hit_c),
+            fmt_pct(max(&|s| s.hit_c)),
+        ),
+        (
+            "Byte Hit Rate",
+            Box::new(|s: &pc_sim::Summary| s.hit_b),
+            fmt_pct(max(&|s| s.hit_b)),
+        ),
+        (
+            "Response Time",
+            Box::new(|s: &pc_sim::Summary| s.avg_response_s),
+            fmt_s(max(&|s| s.avg_response_s)),
+        ),
+    ];
+    let mut t = Table::new(vec!["metric (max)", "PAG", "SEM", "APRO"]);
+    for (name, f, maxs) in &metrics {
+        let m = max(&|s| f(s));
+        let cells: Vec<String> = results
+            .iter()
+            .map(|r| {
+                if m > 0.0 {
+                    format!("{:.2}", f(&r.summary) / m)
+                } else {
+                    "0.00".into()
+                }
+            })
+            .collect();
+        t.row(vec![
+            format!("{name} ({maxs})"),
+            cells[0].clone(),
+            cells[1].clone(),
+            cells[2].clone(),
+        ]);
+    }
+    t.print();
+
+    println!("\npaper expectations: PAG highest uplink & zero hit_c; SEM highest");
+    println!("downlink & ~1/3 of APRO's hit_c; APRO best response time with");
+    println!("downlink only slightly above PAG's.");
+}

@@ -1,0 +1,42 @@
+//! §6.4 statistics: R*-tree index sizes and binary-partition-tree overhead
+//! for the NE-like and RD-like datasets. The paper reports, at full scale:
+//! R*-tree 3.8 MB (NE) / 18.5 MB (RD); BPTs 4.2 MB (NE) / 23.7 MB (RD) —
+//! i.e. the BPT overhead stays under twice the index size (§4.2's bound).
+
+use pc_bench::{fmt_bytes, HarnessOpts, Table};
+use pc_rtree::bpt::BptStore;
+use pc_rtree::{RTree, RTreeConfig};
+use pc_workload::DatasetKind;
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    println!("=== Index and BPT sizes (§6.4) ===\n");
+    let mut t = Table::new(vec![
+        "dataset", "objects", "nodes", "height", "R-tree", "BPTs", "BPT/index",
+    ]);
+    for kind in [DatasetKind::Ne, DatasetKind::Rd] {
+        let n = if opts.paper_scale {
+            kind.paper_cardinality()
+        } else {
+            opts.objects.unwrap_or(50_000)
+        };
+        let store = kind.generate(n, opts.seed);
+        let objects: Vec<_> = store.iter().copied().collect();
+        let tree = RTree::bulk_load(RTreeConfig::paper(), &objects);
+        let bpts = BptStore::build(&tree);
+        let stats = tree.stats();
+        let aux = bpts.total_aux_bytes();
+        t.row(vec![
+            kind.name().to_string(),
+            format!("{n}"),
+            format!("{}", stats.node_count),
+            format!("{}", stats.height),
+            fmt_bytes(stats.index_bytes as f64),
+            fmt_bytes(aux as f64),
+            format!("{:.2}x", aux as f64 / stats.index_bytes as f64),
+        ]);
+    }
+    t.print();
+    println!("\npaper (full scale): NE 3.8MB R-tree / 4.2MB BPTs; RD 18.5MB / 23.7MB.");
+    println!("invariant: BPT overhead <= 2x the index (§4.2).");
+}

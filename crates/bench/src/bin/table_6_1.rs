@@ -1,0 +1,72 @@
+//! Table 6.1: System Parameters Settings — prints the simulator defaults
+//! next to the paper's values so any drift is immediately visible.
+
+use pc_bench::{HarnessOpts, Table};
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let cfg = opts.base_config();
+    println!("=== Table 6.1: System Parameters Settings ===\n");
+    let mut t = Table::new(vec!["parameter", "paper", "this run"]);
+    t.row(vec![
+        "spd".into(),
+        "0.0001".into(),
+        format!("{}", cfg.mobility_cfg.speed),
+    ]);
+    t.row(vec![
+        "think time".into(),
+        "50s".into(),
+        format!("{}s", cfg.workload.think_mean_s),
+    ]);
+    t.row(vec![
+        "Area_wnd".into(),
+        "1e-6".into(),
+        format!("{:.3e}", cfg.workload.area_wnd),
+    ]);
+    t.row(vec![
+        "Dist_join".into(),
+        "5e-5".into(),
+        format!("{:.3e}", cfg.workload.dist_join),
+    ]);
+    t.row(vec![
+        "K_max".into(),
+        "5".into(),
+        format!("{}", cfg.workload.k_max),
+    ]);
+    t.row(vec![
+        "bandwidth".into(),
+        "384Kbps".into(),
+        format!("{}Kbps", cfg.channel.bandwidth_bps / 1000),
+    ]);
+    t.row(vec![
+        "|C|".into(),
+        "0.1%~5% (1%)".into(),
+        format!("{}%", cfg.cache_frac * 100.0),
+    ]);
+    t.row(vec![
+        "|o|".to_string(),
+        "10KB".to_string(),
+        "10KB (Zipf mean)".to_string(),
+    ]);
+    t.row(vec![
+        "theta".to_string(),
+        "0.8".to_string(),
+        "0.8".to_string(),
+    ]);
+    t.row(vec![
+        "s".into(),
+        "20%".into(),
+        format!("{}%", cfg.sensitivity * 100.0),
+    ]);
+    t.row(vec![
+        "dataset".into(),
+        "NE (123,593)".into(),
+        format!("{} ({})", cfg.dataset, cfg.n_objects),
+    ]);
+    t.row(vec![
+        "queries/run".into(),
+        "10,000".into(),
+        format!("{}", cfg.n_queries),
+    ]);
+    t.print();
+}

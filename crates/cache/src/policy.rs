@@ -1,0 +1,59 @@
+//! Replacement policies evaluated in §6.3 (Fig. 10), plus the GRD2
+//! reference against which Theorem 5.5 is property-tested.
+
+/// Which victim-selection rule the cache uses when over capacity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ReplacementPolicy {
+    /// Least-recently-used hierarchy leaf.
+    Lru,
+    /// Most-recently-used hierarchy leaf ("always the worst of all", §6.3 —
+    /// kept for completeness of the Fig. 10 comparison).
+    Mru,
+    /// Farthest-Away-Replacement (Ren & Dunham \[15\]): evict the leaf whose
+    /// MBR center is farthest from the client's current position.
+    Far,
+    /// The EBRS greedy of §5.1 — the costly reference implementation that
+    /// recomputes expected bitwise response-time saving for every item.
+    Grd2,
+    /// The paper's efficient equivalent (Definition 5.1): evict hierarchy
+    /// leaves in increasing `prob` order, with the B-swap guarantee step.
+    Grd3,
+}
+
+impl ReplacementPolicy {
+    pub const ALL: [ReplacementPolicy; 5] = [
+        ReplacementPolicy::Lru,
+        ReplacementPolicy::Mru,
+        ReplacementPolicy::Far,
+        ReplacementPolicy::Grd2,
+        ReplacementPolicy::Grd3,
+    ];
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            ReplacementPolicy::Lru => "LRU",
+            ReplacementPolicy::Mru => "MRU",
+            ReplacementPolicy::Far => "FAR",
+            ReplacementPolicy::Grd2 => "GRD2",
+            ReplacementPolicy::Grd3 => "GRD3",
+        }
+    }
+}
+
+impl std::fmt::Display for ReplacementPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique() {
+        let names: std::collections::HashSet<_> =
+            ReplacementPolicy::ALL.iter().map(|p| p.name()).collect();
+        assert_eq!(names.len(), ReplacementPolicy::ALL.len());
+    }
+}

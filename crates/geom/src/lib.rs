@@ -1,0 +1,27 @@
+//! Geometry kernel for the proactive-caching reproduction.
+//!
+//! Everything in the system — R-tree nodes, query windows, binary-partition
+//! cells, semantic-cache regions — is described by axis-aligned rectangles
+//! over a normalized `[0,1] × [0,1]` space, exactly as in the paper (both
+//! evaluation datasets are "normalized to unit squares", §6.1).
+//!
+//! The kernel is deliberately small: [`Point`], [`Rect`] and the handful of
+//! predicates and metrics the query algorithms need (`min_dist`,
+//! intersection/containment tests, union, area/margin for R*-tree split
+//! heuristics).
+
+mod point;
+mod rect;
+
+pub use point::Point;
+pub use rect::Rect;
+
+/// Coordinate scalar used throughout the workspace.
+///
+/// `f64` keeps the R*-tree split heuristics and distance-based pruning
+/// numerically stable at paper scale (hundreds of thousands of objects in a
+/// unit square leave ~1e-6-sized windows where `f32` would be marginal).
+pub type Coord = f64;
+
+#[cfg(test)]
+mod proptests;

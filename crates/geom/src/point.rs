@@ -1,0 +1,101 @@
+use crate::Coord;
+
+/// A point in the normalized unit square.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Point {
+    pub x: Coord,
+    pub y: Coord,
+}
+
+impl Point {
+    /// Creates a point at `(x, y)`.
+    #[inline]
+    pub const fn new(x: Coord, y: Coord) -> Self {
+        Point { x, y }
+    }
+
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point = Point::new(0.0, 0.0);
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn dist(&self, other: &Point) -> Coord {
+        self.dist_sq(other).sqrt()
+    }
+
+    /// Squared Euclidean distance to `other` (avoids the `sqrt` when only
+    /// comparisons are needed, e.g. inside priority-queue keys).
+    #[inline]
+    pub fn dist_sq(&self, other: &Point) -> Coord {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Component-wise minimum.
+    #[inline]
+    pub fn min(&self, other: &Point) -> Point {
+        Point::new(self.x.min(other.x), self.y.min(other.y))
+    }
+
+    /// Component-wise maximum.
+    #[inline]
+    pub fn max(&self, other: &Point) -> Point {
+        Point::new(self.x.max(other.x), self.y.max(other.y))
+    }
+
+    /// Linear interpolation from `self` towards `to` by fraction `t ∈ [0,1]`.
+    #[inline]
+    pub fn lerp(&self, to: &Point, t: Coord) -> Point {
+        Point::new(self.x + (to.x - self.x) * t, self.y + (to.y - self.y) * t)
+    }
+
+    /// Clamps both coordinates into `[0, 1]` (the normalized data space).
+    #[inline]
+    pub fn clamp_unit(&self) -> Point {
+        Point::new(self.x.clamp(0.0, 1.0), self.y.clamp(0.0, 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dist_is_euclidean() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.dist(&b), 5.0);
+        assert_eq!(a.dist_sq(&b), 25.0);
+    }
+
+    #[test]
+    fn dist_is_symmetric() {
+        let a = Point::new(0.25, 0.5);
+        let b = Point::new(0.75, 0.125);
+        assert_eq!(a.dist(&b), b.dist(&a));
+    }
+
+    #[test]
+    fn min_max_are_componentwise() {
+        let a = Point::new(0.1, 0.9);
+        let b = Point::new(0.5, 0.2);
+        assert_eq!(a.min(&b), Point::new(0.1, 0.2));
+        assert_eq!(a.max(&b), Point::new(0.5, 0.9));
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(1.0, 2.0);
+        assert_eq!(a.lerp(&b, 0.0), a);
+        assert_eq!(a.lerp(&b, 1.0), b);
+        assert_eq!(a.lerp(&b, 0.5), Point::new(0.5, 1.0));
+    }
+
+    #[test]
+    fn clamp_unit_clamps_out_of_range() {
+        assert_eq!(Point::new(-0.5, 1.5).clamp_unit(), Point::new(0.0, 1.0));
+        assert_eq!(Point::new(0.3, 0.7).clamp_unit(), Point::new(0.3, 0.7));
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests for the geometry kernel: the R-tree and the query
+//! engine lean on these identities for correctness, so they are pinned here
+//! once and for all.
+
+use crate::{Point, Rect};
+use proptest::prelude::*;
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (0.0f64..=1.0, 0.0f64..=1.0).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn arb_rect() -> impl Strategy<Value = Rect> {
+    (arb_point(), arb_point()).prop_map(|(a, b)| Rect::new(a, b))
+}
+
+proptest! {
+    #[test]
+    fn union_is_commutative(a in arb_rect(), b in arb_rect()) {
+        prop_assert_eq!(a.union(&b), b.union(&a));
+    }
+
+    #[test]
+    fn union_contains_operands(a in arb_rect(), b in arb_rect()) {
+        let u = a.union(&b);
+        prop_assert!(u.contains_rect(&a));
+        prop_assert!(u.contains_rect(&b));
+    }
+
+    #[test]
+    fn union_is_associative(a in arb_rect(), b in arb_rect(), c in arb_rect()) {
+        prop_assert_eq!(a.union(&b).union(&c), a.union(&b.union(&c)));
+    }
+
+    #[test]
+    fn intersection_is_contained_in_both(a in arb_rect(), b in arb_rect()) {
+        if let Some(i) = a.intersection(&b) {
+            prop_assert!(a.contains_rect(&i));
+            prop_assert!(b.contains_rect(&i));
+        }
+    }
+
+    #[test]
+    fn intersects_iff_intersection_exists(a in arb_rect(), b in arb_rect()) {
+        prop_assert_eq!(a.intersects(&b), a.intersection(&b).is_some());
+    }
+
+    #[test]
+    fn overlap_area_matches_intersection(a in arb_rect(), b in arb_rect()) {
+        let by_area = a.overlap_area(&b);
+        let by_rect = a.intersection(&b).map(|i| i.area()).unwrap_or(0.0);
+        prop_assert!((by_area - by_rect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_dist_lower_bounds_contained_points(r in arb_rect(), p in arb_point(), q in arb_point()) {
+        // Any point inside r is at least min_dist(p) away from p.
+        let inside = Point::new(
+            r.min.x + (r.max.x - r.min.x) * q.x,
+            r.min.y + (r.max.y - r.min.y) * q.y,
+        );
+        prop_assert!(r.contains_point(&inside));
+        prop_assert!(p.dist(&inside) >= r.min_dist(&p) - 1e-12);
+        prop_assert!(p.dist(&inside) <= r.max_dist(&p) + 1e-12);
+    }
+
+    #[test]
+    fn min_dist_zero_iff_contained(r in arb_rect(), p in arb_point()) {
+        if r.contains_point(&p) {
+            prop_assert_eq!(r.min_dist(&p), 0.0);
+        } else {
+            prop_assert!(r.min_dist(&p) > 0.0);
+        }
+    }
+
+    #[test]
+    fn min_dist_rect_lower_bounds_point_pairs(a in arb_rect(), b in arb_rect(),
+                                              s in arb_point(), t in arb_point()) {
+        let pa = Point::new(a.min.x + a.width() * s.x, a.min.y + a.height() * s.y);
+        let pb = Point::new(b.min.x + b.width() * t.x, b.min.y + b.height() * t.y);
+        prop_assert!(pa.dist(&pb) >= a.min_dist_rect(&b) - 1e-12);
+    }
+
+    #[test]
+    fn min_dist_rect_is_symmetric(a in arb_rect(), b in arb_rect()) {
+        prop_assert!((a.min_dist_rect(&b) - b.min_dist_rect(&a)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn enlargement_is_nonnegative(a in arb_rect(), b in arb_rect()) {
+        prop_assert!(a.enlargement(&b) >= 0.0);
+    }
+
+    #[test]
+    fn subtract_partitions_area(a in arb_rect(), b in arb_rect()) {
+        let mut out = Vec::new();
+        a.subtract(&b, &mut out);
+        let covered = a.intersection(&b).map(|i| i.area()).unwrap_or(0.0);
+        let total: f64 = out.iter().map(|p| p.area()).sum();
+        prop_assert!((total - (a.area() - covered)).abs() < 1e-9);
+        // Pieces stay inside `a` and avoid `b`.
+        for p in &out {
+            prop_assert!(a.contains_rect(p));
+            prop_assert!(p.overlap_area(&b) < 1e-12);
+        }
+        // Pairwise disjoint.
+        for i in 0..out.len() {
+            for j in i + 1..out.len() {
+                prop_assert!(out[i].overlap_area(&out[j]) < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn centered_square_centers(c in arb_point(), side in 1e-6f64..0.5) {
+        let r = Rect::centered_square(c, side);
+        prop_assert!((r.width() - side).abs() < 1e-12);
+        prop_assert!((r.height() - side).abs() < 1e-12);
+        prop_assert!(r.center().dist(&c) < 1e-12);
+    }
+}

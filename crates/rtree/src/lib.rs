@@ -1,0 +1,219 @@
+//! R*-tree index, binary partition trees (BPT), the generic spatial query
+//! engine of the paper's §3.3, and the client↔server wire protocol.
+//!
+//! This crate is the substrate shared by the proactive-caching client, the
+//! server, and both baselines:
+//!
+//! * [`RTree`] — a page-oriented R*-tree (Beckmann et al. \[2\]) with dynamic
+//!   insertion (forced re-insert + R* split) and STR bulk loading.
+//! * [`bpt`] — per-node **binary partition trees** (§4.2): an offline
+//!   recursive R*-split of each node's entry set, giving every subset of
+//!   entries a *super entry* addressed by `(NodeId, Code)`.
+//! * [`engine`] — the **generic query processor** (paper Algorithm 1): one
+//!   best-first loop that evaluates range, kNN and distance self-join
+//!   queries over any [`engine::IndexView`], handling *missing entries* and
+//!   producing remainder queries. The server runs the same engine over a
+//!   complete view; the client runs it over its cache.
+//! * [`proto`] — query specifications, serialized heap entries, remainder
+//!   queries, server replies, and the byte-accounting rules used by every
+//!   experiment metric.
+
+pub mod bpt;
+pub mod engine;
+pub mod naive;
+pub mod proto;
+pub mod query;
+mod split;
+mod tree;
+pub mod view;
+
+#[cfg(test)]
+mod proptests;
+
+use pc_geom::Rect;
+
+pub use tree::{RTree, RTreeConfig, TreeStats};
+
+/// Identifier of a data object. Objects are numbered densely from zero so
+/// stores can be plain vectors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjectId(pub u32);
+
+impl std::fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "o{}", self.0)
+    }
+}
+
+/// Identifier of an R-tree node (slab index into [`RTree`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A spatial data object: an MBR plus a payload *size*.
+///
+/// Following DESIGN.md, payload bytes are accounted but never materialized —
+/// every algorithm in the paper operates on ids and MBRs only, while the
+/// channel model charges `size_bytes` per transmission.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SpatialObject {
+    pub id: ObjectId,
+    pub mbr: Rect,
+    pub size_bytes: u32,
+}
+
+/// What an R-tree entry points at.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChildRef {
+    Node(NodeId),
+    Object(ObjectId),
+}
+
+/// One `(MBR, pointer)` slot of an R-tree node.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Entry {
+    pub mbr: Rect,
+    pub child: ChildRef,
+}
+
+/// An R-tree node. `level == 0` means leaf (entries point at objects).
+#[derive(Clone, Debug)]
+pub struct Node {
+    pub parent: Option<NodeId>,
+    pub level: u16,
+    pub entries: Vec<Entry>,
+}
+
+impl Node {
+    /// MBR covering all entries (`None` for an empty node, which only occurs
+    /// transiently during splits).
+    pub fn mbr(&self) -> Option<Rect> {
+        Rect::union_all(self.entries.iter().map(|e| e.mbr))
+    }
+
+    pub fn is_leaf(&self) -> bool {
+        self.level == 0
+    }
+}
+
+/// The flat object store backing an [`RTree`]. Object ids must equal their
+/// vector index; [`ObjectStore::new`] enforces this.
+#[derive(Clone, Debug, Default)]
+pub struct ObjectStore {
+    objects: Vec<SpatialObject>,
+}
+
+impl ObjectStore {
+    /// Builds a store, checking the dense-id invariant.
+    ///
+    /// # Panics
+    /// Panics if any object's id differs from its position.
+    pub fn new(objects: Vec<SpatialObject>) -> Self {
+        for (i, o) in objects.iter().enumerate() {
+            assert_eq!(
+                o.id.0 as usize, i,
+                "ObjectStore requires dense ids (object at position {i} has id {})",
+                o.id
+            );
+        }
+        ObjectStore { objects }
+    }
+
+    #[inline]
+    pub fn get(&self, id: ObjectId) -> &SpatialObject {
+        &self.objects[id.0 as usize]
+    }
+
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &SpatialObject> {
+        self.objects.iter()
+    }
+
+    /// Total payload bytes across all objects (denominator of the paper's
+    /// uniform-access byte hit rate formula in §4.1).
+    pub fn total_bytes(&self) -> u64 {
+        self.objects.iter().map(|o| o.size_bytes as u64).sum()
+    }
+
+    /// Appends a new object (dense ids: the next id is assigned). Used by
+    /// the server-update extension.
+    pub fn push(&mut self, mbr: Rect, size_bytes: u32) -> ObjectId {
+        let id = ObjectId(self.objects.len() as u32);
+        self.objects.push(SpatialObject {
+            id,
+            mbr,
+            size_bytes,
+        });
+        id
+    }
+
+    /// Relocates an object (server-update extension). The index must be
+    /// updated separately (delete + insert).
+    pub fn set_mbr(&mut self, id: ObjectId, mbr: Rect) {
+        self.objects[id.0 as usize].mbr = mbr;
+    }
+}
+
+#[cfg(test)]
+mod lib_tests {
+    use super::*;
+    use pc_geom::Point;
+
+    #[test]
+    fn object_store_dense_ids_ok() {
+        let objs = (0..4)
+            .map(|i| SpatialObject {
+                id: ObjectId(i),
+                mbr: Rect::from_point(Point::new(i as f64 * 0.1, 0.5)),
+                size_bytes: 100 + i,
+            })
+            .collect();
+        let store = ObjectStore::new(objs);
+        assert_eq!(store.len(), 4);
+        assert_eq!(store.get(ObjectId(2)).size_bytes, 102);
+        assert_eq!(store.total_bytes(), 100 + 101 + 102 + 103);
+    }
+
+    #[test]
+    #[should_panic(expected = "dense ids")]
+    fn object_store_rejects_sparse_ids() {
+        let objs = vec![SpatialObject {
+            id: ObjectId(5),
+            mbr: Rect::from_point(Point::ORIGIN),
+            size_bytes: 1,
+        }];
+        ObjectStore::new(objs);
+    }
+
+    #[test]
+    fn node_mbr_unions_entries() {
+        let node = Node {
+            parent: None,
+            level: 0,
+            entries: vec![
+                Entry {
+                    mbr: Rect::from_coords(0.0, 0.0, 0.2, 0.2),
+                    child: ChildRef::Object(ObjectId(0)),
+                },
+                Entry {
+                    mbr: Rect::from_coords(0.5, 0.5, 0.9, 0.6),
+                    child: ChildRef::Object(ObjectId(1)),
+                },
+            ],
+        };
+        assert_eq!(node.mbr().unwrap(), Rect::from_coords(0.0, 0.0, 0.9, 0.6));
+        assert!(node.is_leaf());
+    }
+}

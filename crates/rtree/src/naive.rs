@@ -1,0 +1,86 @@
+//! Brute-force query oracles: linear scans over the object store, used by
+//! every test suite as ground truth for the R-tree algorithms, the generic
+//! engine and the caching pipelines.
+
+use crate::{ObjectId, ObjectStore};
+use pc_geom::{Point, Rect};
+
+/// Linear-scan range query, sorted by id.
+pub fn range_naive(store: &ObjectStore, window: &Rect) -> Vec<ObjectId> {
+    let mut out: Vec<ObjectId> = store
+        .iter()
+        .filter(|o| window.intersects(&o.mbr))
+        .map(|o| o.id)
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+/// Linear-scan kNN, closest first, ties broken by id.
+pub fn knn_naive(store: &ObjectStore, center: &Point, k: usize) -> Vec<(ObjectId, f64)> {
+    let mut all: Vec<(ObjectId, f64)> = store
+        .iter()
+        .map(|o| (o.id, o.mbr.min_dist(center)))
+        .collect();
+    all.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+    all.truncate(k);
+    all
+}
+
+/// Quadratic distance self-join, canonical sorted pairs.
+pub fn join_naive(store: &ObjectStore, dist: f64) -> Vec<(ObjectId, ObjectId)> {
+    let objs: Vec<_> = store.iter().collect();
+    let mut out = Vec::new();
+    for i in 0..objs.len() {
+        for j in i + 1..objs.len() {
+            if objs[i].mbr.min_dist_rect(&objs[j].mbr) <= dist {
+                out.push((objs[i].id, objs[j].id));
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SpatialObject;
+
+    fn store() -> ObjectStore {
+        let pts = [(0.1, 0.1), (0.2, 0.1), (0.9, 0.9), (0.5, 0.5)];
+        ObjectStore::new(
+            pts.iter()
+                .enumerate()
+                .map(|(i, &(x, y))| SpatialObject {
+                    id: ObjectId(i as u32),
+                    mbr: Rect::from_point(Point::new(x, y)),
+                    size_bytes: 10,
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn range_picks_contained_points() {
+        let s = store();
+        let got = range_naive(&s, &Rect::from_coords(0.0, 0.0, 0.3, 0.3));
+        assert_eq!(got, vec![ObjectId(0), ObjectId(1)]);
+    }
+
+    #[test]
+    fn knn_orders_by_distance() {
+        let s = store();
+        let got = knn_naive(&s, &Point::new(0.0, 0.0), 2);
+        assert_eq!(got[0].0, ObjectId(0));
+        assert_eq!(got[1].0, ObjectId(1));
+        assert!(got[0].1 < got[1].1);
+    }
+
+    #[test]
+    fn join_finds_close_pair_only() {
+        let s = store();
+        let got = join_naive(&s, 0.15);
+        assert_eq!(got, vec![(ObjectId(0), ObjectId(1))]);
+    }
+}

@@ -1,0 +1,264 @@
+//! Crate-level property tests: the R-tree, the BPTs and the generic engine
+//! must satisfy their contracts on *arbitrary* inputs, not just the
+//! hand-picked unit-test data.
+
+use crate::bpt::{BptStore, Code};
+use crate::engine::{execute, resume, CellChild, Expansion, IndexView, NoopTracer, Target};
+use crate::proto::{CellRef, QuerySpec};
+use crate::tree::{RTree, RTreeConfig};
+use crate::view::FullView;
+use crate::{naive, query, ObjectId, ObjectStore, SpatialObject};
+use pc_geom::{Point, Rect};
+use proptest::prelude::*;
+
+fn arb_objects(max: usize) -> impl Strategy<Value = Vec<SpatialObject>> {
+    prop::collection::vec(
+        (0.0f64..1.0, 0.0f64..1.0, 0.0f64..0.03, 0.0f64..0.03, 1u32..5000),
+        2..max,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (x, y, w, h, size))| SpatialObject {
+                id: ObjectId(i as u32),
+                mbr: Rect::from_coords(x, y, (x + w).min(1.0), (y + h).min(1.0)),
+                size_bytes: size,
+            })
+            .collect()
+    })
+}
+
+fn build(objects: &[SpatialObject]) -> (ObjectStore, RTree, BptStore) {
+    let tree = RTree::bulk_load(RTreeConfig::small(), objects);
+    let bpts = BptStore::build(&tree);
+    (ObjectStore::new(objects.to_vec()), tree, bpts)
+}
+
+/// Partial view driven by a bitmask over node ids and object ids.
+struct MaskView<'a> {
+    full: FullView<'a>,
+    node_mask: Vec<bool>,
+    obj_mask: Vec<bool>,
+}
+
+impl IndexView for MaskView<'_> {
+    fn root(&self) -> Option<(Rect, CellRef)> {
+        self.full.root()
+    }
+    fn expand(&self, cell: CellRef) -> Expansion {
+        if !self
+            .node_mask
+            .get(cell.node.0 as usize)
+            .copied()
+            .unwrap_or(false)
+        {
+            return Expansion::Missing;
+        }
+        match self.full.expand(cell) {
+            Expansion::Children(children) => Expansion::Children(
+                children
+                    .into_iter()
+                    .map(|c| CellChild {
+                        mbr: c.mbr,
+                        target: match c.target {
+                            Target::Object { id, .. } => Target::Object {
+                                id,
+                                cached: self
+                                    .obj_mask
+                                    .get(id.0 as usize)
+                                    .copied()
+                                    .unwrap_or(false),
+                            },
+                            t => t,
+                        },
+                    })
+                    .collect(),
+            ),
+            m => m,
+        }
+    }
+    fn authoritative(&self) -> bool {
+        false
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn tree_structure_valid_for_any_input(objects in arb_objects(120)) {
+        let tree = RTree::bulk_load(RTreeConfig::small(), &objects);
+        tree.validate(objects.len(), false).unwrap();
+        // And dynamically built too.
+        let mut dynamic = RTree::new(RTreeConfig::small());
+        for o in &objects {
+            dynamic.insert(o);
+        }
+        dynamic.validate(objects.len(), true).unwrap();
+    }
+
+    #[test]
+    fn range_query_matches_naive(objects in arb_objects(150),
+                                 cx in 0.0f64..1.0, cy in 0.0f64..1.0,
+                                 side in 0.01f64..0.6) {
+        let (store, tree, bpts) = build(&objects);
+        let w = Rect::centered_square(Point::new(cx, cy), side);
+        let mut got = query::range_query(&tree, &w);
+        got.sort_unstable();
+        prop_assert_eq!(&got, &naive::range_naive(&store, &w));
+        // Engine agrees as well.
+        let view = FullView::new(&tree, &bpts);
+        let out = execute(&view, &QuerySpec::Range { window: w }, &mut NoopTracer);
+        let mut eng: Vec<ObjectId> = out.results.iter().map(|(id, _)| *id).collect();
+        eng.sort_unstable();
+        prop_assert_eq!(eng, got);
+    }
+
+    #[test]
+    fn knn_matches_naive(objects in arb_objects(150),
+                         cx in 0.0f64..1.0, cy in 0.0f64..1.0, k in 1usize..12) {
+        let (store, tree, bpts) = build(&objects);
+        let p = Point::new(cx, cy);
+        let got = query::knn_query(&tree, &p, k);
+        let want = naive::knn_naive(&store, &p, k);
+        prop_assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            prop_assert!((g.1 - w.1).abs() < 1e-12);
+        }
+        let view = FullView::new(&tree, &bpts);
+        let out = execute(&view, &QuerySpec::Knn { center: p, k: k as u32 }, &mut NoopTracer);
+        prop_assert_eq!(out.results.len(), want.len());
+    }
+
+    #[test]
+    fn join_matches_naive(objects in arb_objects(80), dist in 0.0f64..0.1) {
+        let (store, tree, bpts) = build(&objects);
+        let mut got = query::distance_self_join(&tree, dist);
+        got.sort_unstable();
+        prop_assert_eq!(&got, &naive::join_naive(&store, dist));
+        let view = FullView::new(&tree, &bpts);
+        let out = execute(&view, &QuerySpec::Join { dist }, &mut NoopTracer);
+        let mut eng = out.result_pairs;
+        eng.sort_unstable();
+        prop_assert_eq!(eng, got);
+    }
+
+    #[test]
+    fn two_stage_equals_direct_under_arbitrary_views(
+        objects in arb_objects(100),
+        node_bits in prop::collection::vec(any::<bool>(), 64),
+        obj_bits in prop::collection::vec(any::<bool>(), 100),
+        cx in 0.0f64..1.0, cy in 0.0f64..1.0,
+        which in 0u8..3, k in 1u32..8, side in 0.02f64..0.4, dist in 0.0f64..0.05,
+    ) {
+        let (store, tree, bpts) = build(&objects);
+        let mut node_mask = vec![false; 512];
+        for (i, b) in node_bits.iter().enumerate() {
+            // Stripe the mask across the slab.
+            for j in (i..512).step_by(64) {
+                node_mask[j] = *b;
+            }
+        }
+        let view = MaskView {
+            full: FullView::new(&tree, &bpts),
+            node_mask,
+            obj_mask: obj_bits,
+        };
+        let full = FullView::new(&tree, &bpts);
+        let spec = match which {
+            0 => QuerySpec::Range { window: Rect::centered_square(Point::new(cx, cy), side) },
+            1 => QuerySpec::Knn { center: Point::new(cx, cy), k },
+            _ => QuerySpec::Join { dist },
+        };
+        let local = execute(&view, &spec, &mut NoopTracer);
+        let mut ids: Vec<ObjectId> = local.results.iter().map(|(id, _)| *id).collect();
+        let mut pairs = local.result_pairs.clone();
+        if let Some(rq) = &local.remainder {
+            let remote = resume(&full, rq, &mut NoopTracer);
+            prop_assert!(remote.remainder.is_none());
+            ids.extend(remote.results.iter().map(|(id, _)| *id));
+            pairs.extend(remote.result_pairs.iter().copied());
+        }
+        ids.sort_unstable();
+        ids.dedup();
+        pairs.sort_unstable();
+        pairs.dedup();
+        match spec {
+            QuerySpec::Range { window } => {
+                prop_assert_eq!(ids, naive::range_naive(&store, &window));
+            }
+            QuerySpec::Knn { center, k } => {
+                let want = naive::knn_naive(&store, &center, k as usize);
+                prop_assert_eq!(ids.len(), want.len());
+                let mut got_d: Vec<f64> =
+                    ids.iter().map(|id| store.get(*id).mbr.min_dist(&center)).collect();
+                got_d.sort_by(f64::total_cmp);
+                for (g, (_, w)) in got_d.iter().zip(&want) {
+                    prop_assert!((g - w).abs() < 1e-12);
+                }
+            }
+            QuerySpec::Join { dist } => {
+                prop_assert_eq!(pairs, naive::join_naive(&store, dist));
+            }
+        }
+    }
+
+    #[test]
+    fn bpt_codes_are_navigable(objects in arb_objects(100)) {
+        let (_, tree, bpts) = build(&objects);
+        for id in tree.node_ids() {
+            let bpt = bpts.get(id);
+            // Every leaf cell's code resolves back to itself.
+            for (code, cell) in bpt.leaf_cells() {
+                let found = bpt.find(code).unwrap();
+                prop_assert_eq!(found.mbr, cell.mbr);
+                // And every ancestor covers it.
+                let mut c = code;
+                while let Some(p) = c.parent() {
+                    prop_assert!(bpt.find(p).unwrap().mbr.contains_rect(&cell.mbr));
+                    c = p;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deletion_preserves_query_correctness(
+        objects in arb_objects(80),
+        delete_bits in prop::collection::vec(any::<bool>(), 80),
+    ) {
+        let mut tree = RTree::bulk_load(RTreeConfig::small(), &objects);
+        let mut survivors = Vec::new();
+        for (o, del) in objects.iter().zip(delete_bits.iter().chain(std::iter::repeat(&false))) {
+            if *del {
+                prop_assert!(tree.delete(o.id, &o.mbr));
+            } else {
+                survivors.push(*o);
+            }
+        }
+        tree.validate(survivors.len(), false).unwrap();
+        let mut got = query::range_query(&tree, &Rect::UNIT);
+        got.sort_unstable();
+        let mut want: Vec<ObjectId> = survivors.iter().map(|o| o.id).collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn code_child_parent_roundtrip(bits in prop::collection::vec(any::<bool>(), 0..30)) {
+        let mut code = Code::ROOT;
+        for &b in &bits {
+            code = code.child(b);
+        }
+        prop_assert_eq!(code.depth() as usize, bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            prop_assert_eq!(code.bit(i as u8), b);
+        }
+        let mut back = code;
+        for _ in 0..bits.len() {
+            back = back.parent().unwrap();
+        }
+        prop_assert!(back.is_root());
+        prop_assert!(back.is_prefix_of(code));
+    }
+}

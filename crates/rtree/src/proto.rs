@@ -1,0 +1,371 @@
+//! Client ↔ server wire protocol and byte accounting.
+//!
+//! Every metric in the paper's evaluation (uplink/downlink bytes, response
+//! time, hit rates) is a function of the bytes these message types occupy
+//! on the 384 Kbps channel, so the accounting rules live here, next to the
+//! types, and are used consistently by the proactive client, the server and
+//! both baselines.
+//!
+//! Sizes use fixed per-record costs (an MBR is four 8-byte coordinates, a
+//! pointer/id is 8 bytes, …). The absolute constants only scale the
+//! results; all comparisons in the paper are *relative* across caching
+//! models that share these rules.
+
+use crate::bpt::Code;
+use crate::{NodeId, ObjectId, SpatialObject};
+use pc_geom::{Point, Rect};
+
+/// Disk page size of the R*-tree (§6.1: "a page capacity of 4 KB").
+pub const PAGE_BYTES: u64 = 4096;
+/// One `(MBR, pointer)` entry: 4 × 8-byte coordinates + 8-byte pointer.
+pub const ENTRY_BYTES: u64 = 40;
+/// Per-node page header (level, count, parent).
+pub const NODE_HEADER_BYTES: u64 = 16;
+/// Per-object transmission header: id + payload length + MBR.
+pub const OBJECT_HEADER_BYTES: u64 = 40;
+/// A query descriptor (type tag + window/center/threshold + k).
+pub const QUERY_DESC_BYTES: u64 = 64;
+/// One serialized heap entry of a remainder query: cell/object reference +
+/// MBR + priority key + flags.
+pub const HEAP_ENTRY_BYTES: u64 = 48;
+/// A serialized heap *pair* (join): two sides + key.
+pub const HEAP_PAIR_BYTES: u64 = 88;
+/// Server confirmation that a client-cached object is a result (id only).
+pub const CONFIRM_BYTES: u64 = 8;
+/// One join result pair (two ids).
+pub const PAIR_BYTES: u64 = 8;
+/// One object id in a page-cache uplink manifest.
+pub const OBJECT_ID_BYTES: u64 = 4;
+/// Header of a per-node index shipment (node id, level, parent, count).
+pub const SHIPMENT_HEADER_BYTES: u64 = 16;
+
+/// A spatial query, the three types of §6.1 ("randomly selected from range,
+/// kNN, and join").
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum QuerySpec {
+    /// Window query centered on the client ("the window of a range query is
+    /// centered at client's current position").
+    Range { window: Rect },
+    /// k-nearest-neighbor query from `center`.
+    Knn { center: Point, k: u32 },
+    /// Distance self-join: all object pairs closer than `dist`.
+    Join { dist: f64 },
+}
+
+impl QuerySpec {
+    /// Priority-queue key for an MBR under this query (mindist for kNN,
+    /// order-irrelevant zero for range; join keys pairs, see
+    /// [`pair_key`]).
+    #[inline]
+    pub fn key_for(&self, mbr: &Rect) -> f64 {
+        match self {
+            QuerySpec::Range { .. } => 0.0,
+            QuerySpec::Knn { center, .. } => mbr.min_dist(center),
+            QuerySpec::Join { .. } => 0.0,
+        }
+    }
+
+    /// Whether an MBR can contribute results to this (non-join) query.
+    #[inline]
+    pub fn qualifies(&self, mbr: &Rect) -> bool {
+        match self {
+            QuerySpec::Range { window } => window.intersects(mbr),
+            QuerySpec::Knn { .. } => true,
+            QuerySpec::Join { .. } => true,
+        }
+    }
+
+    pub fn is_join(&self) -> bool {
+        matches!(self, QuerySpec::Join { .. })
+    }
+}
+
+/// Priority key for a candidate pair of a distance join.
+#[inline]
+pub fn pair_key(a: &Rect, b: &Rect) -> f64 {
+    a.min_dist_rect(b)
+}
+
+/// Reference to a BPT cell: the paper's `(n, code)` super-entry id. The
+/// root cell `(n, ε)` denotes the whole node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CellRef {
+    pub node: NodeId,
+    pub code: Code,
+}
+
+impl CellRef {
+    pub fn node_root(node: NodeId) -> CellRef {
+        CellRef {
+            node,
+            code: Code::ROOT,
+        }
+    }
+}
+
+impl std::fmt::Display for CellRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({},{})", self.node, self.code)
+    }
+}
+
+/// One side of a traversal frontier: a cell (node subset) or an object.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Side {
+    Cell { cell: CellRef, mbr: Rect },
+    Obj {
+        id: ObjectId,
+        mbr: Rect,
+        /// Whether the *client* holds the object's payload. Set by the
+        /// client view during expansion and preserved across the wire so
+        /// the server can skip retransmission (a paper Example 3.1
+        /// "confirmed without download" case).
+        cached: bool,
+    },
+}
+
+impl Side {
+    #[inline]
+    pub fn mbr(&self) -> Rect {
+        match self {
+            Side::Cell { mbr, .. } | Side::Obj { mbr, .. } => *mbr,
+        }
+    }
+
+    #[inline]
+    pub fn is_obj(&self) -> bool {
+        matches!(self, Side::Obj { .. })
+    }
+}
+
+/// A serialized heap entry of a remainder query: the paper ships the whole
+/// execution state `H`, so entries are either single frontier items
+/// (range/kNN) or frontier pairs (join).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum HeapEntry {
+    Single(Side),
+    Pair(Side, Side),
+}
+
+impl HeapEntry {
+    /// Bytes this entry occupies on the uplink.
+    pub fn wire_bytes(&self) -> u64 {
+        match self {
+            HeapEntry::Single(_) => HEAP_ENTRY_BYTES,
+            HeapEntry::Pair(..) => HEAP_PAIR_BYTES,
+        }
+    }
+
+    /// Whether the entry is a leaf entry in the paper's sense (an object,
+    /// or an object pair).
+    pub fn is_leaf(&self) -> bool {
+        match self {
+            HeapEntry::Single(s) => s.is_obj(),
+            HeapEntry::Pair(a, b) => a.is_obj() && b.is_obj(),
+        }
+    }
+}
+
+/// The remainder query `Qr = {Q, H}` (§3.3): the original query plus the
+/// priority-queue state at the point the client ran out of local index.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RemainderQuery {
+    pub spec: QuerySpec,
+    /// Results already confirmed locally (the paper's `m`); for kNN the
+    /// server answers a `(k - m)`-NN over `heap`.
+    pub already_found: u32,
+    /// `(priority key, entry)` pairs, in no particular order (the server
+    /// re-heapifies).
+    pub heap: Vec<(f64, HeapEntry)>,
+}
+
+impl RemainderQuery {
+    /// Uplink cost of submitting this remainder.
+    pub fn uplink_bytes(&self) -> u64 {
+        QUERY_DESC_BYTES + self.heap.iter().map(|(_, e)| e.wire_bytes()).sum::<u64>()
+    }
+}
+
+/// What a shipped cell record points at.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum CellKind {
+    /// A super entry — expandable only by asking the server again.
+    Super,
+    /// A full entry pointing at a child node.
+    Node(NodeId),
+    /// A full leaf entry pointing at an object.
+    Object(ObjectId),
+}
+
+/// One cell of a node shipment.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CellRecord {
+    pub code: Code,
+    pub mbr: Rect,
+    pub kind: CellKind,
+}
+
+/// The supporting-index shipment for one R-tree node: a covering antichain
+/// of its BPT (a full form, normal compact form, or d⁺-level compact form —
+/// the engine cannot tell and does not care).
+#[derive(Clone, Debug, PartialEq)]
+pub struct NodeShipment {
+    pub node: NodeId,
+    pub level: u16,
+    /// R-tree parent, shipped so the client cache can maintain the item
+    /// hierarchy of §5.2 (metadata (5)).
+    pub parent: Option<NodeId>,
+    pub cells: Vec<CellRecord>,
+}
+
+impl NodeShipment {
+    pub fn wire_bytes(&self) -> u64 {
+        SHIPMENT_HEADER_BYTES + self.cells.len() as u64 * ENTRY_BYTES
+    }
+}
+
+/// The server's reply to a remainder query: result objects `Rr` plus the
+/// supporting index `Ir` (§3.2), with byte-free confirmations for results
+/// the client already caches.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ServerReply {
+    /// Result objects the client holds already — ids only, no payload.
+    pub confirmed: Vec<ObjectId>,
+    /// Result objects with payload transmission.
+    pub objects: Vec<SpatialObject>,
+    /// Join result pairs discovered at the server.
+    pub pairs: Vec<(ObjectId, ObjectId)>,
+    /// Supporting index `Ir`.
+    pub index: Vec<NodeShipment>,
+    /// Server-side cell expansions (CPU accounting for Fig. 9 / §6.4).
+    pub expansions: u64,
+}
+
+impl ServerReply {
+    /// Payload bytes of transmitted result objects.
+    pub fn object_bytes(&self) -> u64 {
+        self.objects
+            .iter()
+            .map(|o| OBJECT_HEADER_BYTES + o.size_bytes as u64)
+            .sum()
+    }
+
+    /// Bytes of the supporting index.
+    pub fn index_bytes(&self) -> u64 {
+        self.index.iter().map(|s| s.wire_bytes()).sum()
+    }
+
+    /// Total downlink bytes.
+    pub fn downlink_bytes(&self) -> u64 {
+        self.confirmed.len() as u64 * CONFIRM_BYTES
+            + self.object_bytes()
+            + self.pairs.len() as u64 * PAIR_BYTES
+            + self.index_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_keys() {
+        let knn = QuerySpec::Knn {
+            center: Point::new(0.0, 0.0),
+            k: 3,
+        };
+        let r = Rect::from_coords(3.0, 4.0, 5.0, 6.0);
+        assert_eq!(knn.key_for(&r), 5.0);
+        let range = QuerySpec::Range {
+            window: Rect::from_coords(0.0, 0.0, 1.0, 1.0),
+        };
+        assert_eq!(range.key_for(&r), 0.0);
+    }
+
+    #[test]
+    fn range_qualification_uses_window() {
+        let range = QuerySpec::Range {
+            window: Rect::from_coords(0.0, 0.0, 0.5, 0.5),
+        };
+        assert!(range.qualifies(&Rect::from_coords(0.4, 0.4, 0.6, 0.6)));
+        assert!(!range.qualifies(&Rect::from_coords(0.6, 0.6, 0.7, 0.7)));
+        let knn = QuerySpec::Knn {
+            center: Point::ORIGIN,
+            k: 1,
+        };
+        assert!(knn.qualifies(&Rect::from_coords(0.9, 0.9, 1.0, 1.0)));
+    }
+
+    #[test]
+    fn remainder_uplink_bytes_sum_entries() {
+        let side = Side::Cell {
+            cell: CellRef::node_root(NodeId(1)),
+            mbr: Rect::UNIT,
+        };
+        let rq = RemainderQuery {
+            spec: QuerySpec::Join { dist: 0.1 },
+            already_found: 0,
+            heap: vec![
+                (0.0, HeapEntry::Single(side)),
+                (0.1, HeapEntry::Pair(side, side)),
+            ],
+        };
+        assert_eq!(
+            rq.uplink_bytes(),
+            QUERY_DESC_BYTES + HEAP_ENTRY_BYTES + HEAP_PAIR_BYTES
+        );
+    }
+
+    #[test]
+    fn heap_entry_leaf_detection() {
+        let cell = Side::Cell {
+            cell: CellRef::node_root(NodeId(0)),
+            mbr: Rect::UNIT,
+        };
+        let obj = Side::Obj {
+            id: ObjectId(4),
+            mbr: Rect::UNIT,
+            cached: false,
+        };
+        assert!(!HeapEntry::Single(cell).is_leaf());
+        assert!(HeapEntry::Single(obj).is_leaf());
+        assert!(HeapEntry::Pair(obj, obj).is_leaf());
+        assert!(!HeapEntry::Pair(obj, cell).is_leaf());
+    }
+
+    #[test]
+    fn reply_byte_accounting() {
+        let reply = ServerReply {
+            confirmed: vec![ObjectId(1), ObjectId(2)],
+            objects: vec![SpatialObject {
+                id: ObjectId(3),
+                mbr: Rect::UNIT,
+                size_bytes: 1000,
+            }],
+            pairs: vec![(ObjectId(1), ObjectId(3))],
+            index: vec![NodeShipment {
+                node: NodeId(0),
+                level: 1,
+                parent: None,
+                cells: vec![
+                    CellRecord {
+                        code: Code::ROOT,
+                        mbr: Rect::UNIT,
+                        kind: CellKind::Super,
+                    };
+                    3
+                ],
+            }],
+            expansions: 7,
+        };
+        assert_eq!(reply.object_bytes(), OBJECT_HEADER_BYTES + 1000);
+        assert_eq!(reply.index_bytes(), SHIPMENT_HEADER_BYTES + 3 * ENTRY_BYTES);
+        assert_eq!(
+            reply.downlink_bytes(),
+            2 * CONFIRM_BYTES
+                + (OBJECT_HEADER_BYTES + 1000)
+                + PAIR_BYTES
+                + (SHIPMENT_HEADER_BYTES + 3 * ENTRY_BYTES)
+        );
+    }
+}

@@ -1,0 +1,235 @@
+//! Plain R-tree query algorithms (§3.1): recursive range search, best-first
+//! kNN (Hjaltason & Samet \[11\]) and the recursive RJ distance join
+//! (Brinkhoff et al. \[3\]).
+//!
+//! These are *independent implementations* from the generic engine in
+//! [`crate::engine`]: the test suites cross-check the two against each
+//! other and against the brute-force oracle in [`crate::naive`], so a bug
+//! would have to be introduced three times to go unnoticed.
+
+use crate::tree::RTree;
+use crate::{ChildRef, NodeId, ObjectId};
+use pc_geom::{Point, Rect};
+use std::collections::BinaryHeap;
+
+/// All objects whose MBR intersects `window`, in unspecified order.
+pub fn range_query(tree: &RTree, window: &Rect) -> Vec<ObjectId> {
+    let mut out = Vec::new();
+    range_rec(tree, tree.root(), window, &mut out);
+    out
+}
+
+fn range_rec(tree: &RTree, node: NodeId, window: &Rect, out: &mut Vec<ObjectId>) {
+    for e in &tree.node(node).entries {
+        if !window.intersects(&e.mbr) {
+            continue;
+        }
+        match e.child {
+            ChildRef::Node(c) => range_rec(tree, c, window, out),
+            ChildRef::Object(o) => out.push(o),
+        }
+    }
+}
+
+/// The `k` nearest objects to `center` with their distances, closest first.
+/// Object distance is `MINDIST` to the object's MBR (exact for the point
+/// data of the NE-like dataset; the conventional measure for extended
+/// objects). Ties are broken by object id for determinism.
+pub fn knn_query(tree: &RTree, center: &Point, k: usize) -> Vec<(ObjectId, f64)> {
+    #[derive(PartialEq)]
+    enum Item {
+        Node(NodeId),
+        Obj(ObjectId),
+    }
+    struct Hi(f64, u64, Item);
+    impl PartialEq for Hi {
+        fn eq(&self, other: &Self) -> bool {
+            self.0 == other.0 && self.1 == other.1
+        }
+    }
+    impl Eq for Hi {}
+    impl PartialOrd for Hi {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Hi {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            other.0.total_cmp(&self.0).then(other.1.cmp(&self.1))
+        }
+    }
+
+    let mut out = Vec::new();
+    if k == 0 || tree.object_count() == 0 {
+        return out;
+    }
+    let mut heap = BinaryHeap::new();
+    let mut seq = 0u64;
+    heap.push(Hi(0.0, seq, Item::Node(tree.root())));
+    while let Some(Hi(d, _, item)) = heap.pop() {
+        match item {
+            Item::Node(n) => {
+                for e in &tree.node(n).entries {
+                    seq += 1;
+                    let dist = e.mbr.min_dist(center);
+                    match e.child {
+                        ChildRef::Node(c) => heap.push(Hi(dist, seq, Item::Node(c))),
+                        // Tie-break object pops by id so equal-distance
+                        // results are deterministic.
+                        ChildRef::Object(o) => heap.push(Hi(dist, o.0 as u64, Item::Obj(o))),
+                    }
+                }
+            }
+            Item::Obj(o) => {
+                out.push((o, d));
+                if out.len() == k {
+                    break;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Distance self-join: all canonical pairs `(a, b)` with `a < b` whose MBR
+/// distance is at most `dist`, sorted for deterministic comparison.
+pub fn distance_self_join(tree: &RTree, dist: f64) -> Vec<(ObjectId, ObjectId)> {
+    let mut out = Vec::new();
+    if tree.object_count() > 0 {
+        join_rec(tree, tree.root(), tree.root(), dist, &mut out);
+    }
+    out.sort_unstable();
+    out
+}
+
+fn join_rec(tree: &RTree, a: NodeId, b: NodeId, dist: f64, out: &mut Vec<(ObjectId, ObjectId)>) {
+    let na = tree.node(a);
+    let nb = tree.node(b);
+    let same = a == b;
+    for (i, ea) in na.entries.iter().enumerate() {
+        let j0 = if same { i } else { 0 };
+        for eb in nb.entries.iter().skip(j0) {
+            if ea.mbr.min_dist_rect(&eb.mbr) > dist {
+                continue;
+            }
+            match (ea.child, eb.child) {
+                (ChildRef::Node(ca), ChildRef::Node(cb)) => join_rec(tree, ca, cb, dist, out),
+                (ChildRef::Object(oa), ChildRef::Object(ob)) => {
+                    if oa != ob {
+                        out.push(if oa < ob { (oa, ob) } else { (ob, oa) });
+                    }
+                }
+                // Balanced tree + lockstep descent: levels always match.
+                _ => unreachable!("mixed node/object pair in balanced self-join"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive;
+    use crate::tree::RTreeConfig;
+    use crate::{ObjectStore, SpatialObject};
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn dataset(n: usize, seed: u64) -> (ObjectStore, RTree) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let objects: Vec<SpatialObject> = (0..n)
+            .map(|i| {
+                let x: f64 = rng.random_range(0.0..1.0);
+                let y: f64 = rng.random_range(0.0..1.0);
+                let w: f64 = rng.random_range(0.0..0.02);
+                let h: f64 = rng.random_range(0.0..0.02);
+                SpatialObject {
+                    id: ObjectId(i as u32),
+                    mbr: Rect::from_coords(x, y, (x + w).min(1.0), (y + h).min(1.0)),
+                    size_bytes: 100,
+                }
+            })
+            .collect();
+        let tree = RTree::bulk_load(RTreeConfig::small(), &objects);
+        (ObjectStore::new(objects), tree)
+    }
+
+    #[test]
+    fn range_matches_naive() {
+        let (store, tree) = dataset(400, 1);
+        let mut rng = SmallRng::seed_from_u64(99);
+        for _ in 0..50 {
+            let cx: f64 = rng.random_range(0.0..1.0);
+            let cy: f64 = rng.random_range(0.0..1.0);
+            let s: f64 = rng.random_range(0.01..0.3);
+            let w = Rect::centered_square(Point::new(cx, cy), s);
+            let mut got = range_query(&tree, &w);
+            got.sort_unstable();
+            assert_eq!(got, naive::range_naive(&store, &w));
+        }
+    }
+
+    #[test]
+    fn knn_matches_naive() {
+        let (store, tree) = dataset(300, 2);
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..50 {
+            let p = Point::new(rng.random_range(0.0..1.0), rng.random_range(0.0..1.0));
+            let k = rng.random_range(1..12usize);
+            let got = knn_query(&tree, &p, k);
+            let want = naive::knn_naive(&store, &p, k);
+            assert_eq!(got.len(), want.len());
+            for (g, w) in got.iter().zip(&want) {
+                // Distances must agree exactly; ids may differ only on ties.
+                assert!((g.1 - w.1).abs() < 1e-12, "dist mismatch {g:?} vs {w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn knn_distances_are_nondecreasing() {
+        let (_, tree) = dataset(200, 3);
+        let got = knn_query(&tree, &Point::new(0.5, 0.5), 25);
+        for w in got.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn knn_k_zero_and_k_beyond_n() {
+        let (_, tree) = dataset(10, 4);
+        assert!(knn_query(&tree, &Point::ORIGIN, 0).is_empty());
+        assert_eq!(knn_query(&tree, &Point::ORIGIN, 50).len(), 10);
+    }
+
+    #[test]
+    fn join_matches_naive() {
+        for seed in [5u64, 6, 7] {
+            let (store, tree) = dataset(150, seed);
+            for dist in [0.0, 0.01, 0.05, 0.15] {
+                let got = distance_self_join(&tree, dist);
+                let want = naive::join_naive(&store, dist);
+                assert_eq!(got, want, "seed {seed} dist {dist}");
+            }
+        }
+    }
+
+    #[test]
+    fn join_has_no_self_or_mirror_pairs() {
+        let (_, tree) = dataset(120, 8);
+        let got = distance_self_join(&tree, 0.1);
+        let set: std::collections::HashSet<_> = got.iter().collect();
+        assert_eq!(set.len(), got.len(), "duplicate pairs");
+        for (a, b) in &got {
+            assert!(a < b, "non-canonical pair ({a}, {b})");
+        }
+    }
+
+    #[test]
+    fn queries_on_empty_tree() {
+        let tree = RTree::new(RTreeConfig::small());
+        assert!(range_query(&tree, &Rect::UNIT).is_empty());
+        assert!(knn_query(&tree, &Point::ORIGIN, 5).is_empty());
+        assert!(distance_self_join(&tree, 0.5).is_empty());
+    }
+}

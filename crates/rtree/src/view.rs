@@ -1,0 +1,90 @@
+//! [`FullView`]: the authoritative [`IndexView`] over a complete R-tree and
+//! its BPT store — what the server's query processor navigates.
+
+use crate::bpt::{BptCellKind, BptStore};
+use crate::engine::{CellChild, Expansion, IndexView, Target};
+use crate::proto::CellRef;
+use crate::tree::RTree;
+use crate::ChildRef;
+use pc_geom::Rect;
+
+/// Complete server-side view: every cell expands, nothing is missing.
+pub struct FullView<'a> {
+    tree: &'a RTree,
+    bpts: &'a BptStore,
+}
+
+impl<'a> FullView<'a> {
+    pub fn new(tree: &'a RTree, bpts: &'a BptStore) -> Self {
+        FullView { tree, bpts }
+    }
+
+    pub fn tree(&self) -> &RTree {
+        self.tree
+    }
+
+    pub fn bpts(&self) -> &BptStore {
+        self.bpts
+    }
+}
+
+impl IndexView for FullView<'_> {
+    fn root(&self) -> Option<(Rect, CellRef)> {
+        self.tree
+            .root_mbr()
+            .map(|mbr| (mbr, CellRef::node_root(self.tree.root())))
+    }
+
+    fn expand(&self, cell: CellRef) -> Expansion {
+        let bpt = self.bpts.get(cell.node);
+        if bpt.is_empty() {
+            // Empty root node of an empty tree.
+            return Expansion::Children(Vec::new());
+        }
+        if let Some(children) = bpt.children(cell.code) {
+            // Super entry: its two BPT children.
+            return Expansion::Children(
+                children
+                    .iter()
+                    .map(|(code, c)| CellChild {
+                        mbr: c.mbr,
+                        target: Target::Cell(CellRef {
+                            node: cell.node,
+                            code: *code,
+                        }),
+                    })
+                    .collect(),
+            );
+        }
+        match bpt.find(cell.code) {
+            Some(c) => match c.kind {
+                BptCellKind::Leaf { entry_idx } => {
+                    let entry = &self.tree.node(cell.node).entries[entry_idx as usize];
+                    let child = match entry.child {
+                        ChildRef::Node(n) => CellChild {
+                            mbr: entry.mbr,
+                            target: Target::Cell(CellRef::node_root(n)),
+                        },
+                        ChildRef::Object(o) => CellChild {
+                            mbr: entry.mbr,
+                            target: Target::Object {
+                                id: o,
+                                cached: false,
+                            },
+                        },
+                    };
+                    Expansion::Children(vec![child])
+                }
+                BptCellKind::Internal { .. } => unreachable!("children() covered internals"),
+            },
+            None => {
+                debug_assert!(false, "invalid cell {cell} on an authoritative view");
+                Expansion::Missing
+            }
+        }
+    }
+
+    fn authoritative(&self) -> bool {
+        true
+    }
+}

@@ -1,0 +1,140 @@
+//! The adaptive scheme of §4.3: each client periodically reports its recent
+//! false-miss rate; the server raises the d⁺-level when the fmr rose by
+//! more than the sensitivity `s`, lowers it when it fell by more than `s`,
+//! and leaves it alone otherwise.
+
+use std::collections::HashMap;
+
+/// Per-client adaptive state.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AdaptiveState {
+    pub d: u8,
+    pub last_fmr: Option<f64>,
+}
+
+/// The server-side controller (one instance per server, states per client).
+#[derive(Clone, Debug)]
+pub struct AdaptiveController {
+    /// Sensitivity `s` (Table 6.1 default: 20 %).
+    sensitivity: f64,
+    initial_d: u8,
+    max_d: u8,
+    states: HashMap<u32, AdaptiveState>,
+}
+
+impl AdaptiveController {
+    pub fn new(sensitivity: f64, initial_d: u8, max_d: u8) -> Self {
+        assert!(sensitivity >= 0.0);
+        AdaptiveController {
+            sensitivity,
+            initial_d,
+            max_d,
+            states: HashMap::new(),
+        }
+    }
+
+    /// Current d⁺-level for a client.
+    pub fn d(&self, client: u32) -> u8 {
+        self.states
+            .get(&client)
+            .map(|s| s.d)
+            .unwrap_or(self.initial_d)
+    }
+
+    pub fn state(&self, client: u32) -> AdaptiveState {
+        self.states.get(&client).copied().unwrap_or(AdaptiveState {
+            d: self.initial_d,
+            last_fmr: None,
+        })
+    }
+
+    /// Processes one periodic fmr report; returns the (possibly updated) d.
+    ///
+    /// §4.3: "If the value is higher than the last recorded fmr by s
+    /// percent, … the value of d for this client is increased by 1. On the
+    /// contrary, if it is lower than last fmr by s percent, d is decreased
+    /// by 1. Otherwise, d remains its last value."
+    pub fn report(&mut self, client: u32, fmr: f64) -> u8 {
+        let entry = self.states.entry(client).or_insert(AdaptiveState {
+            d: self.initial_d,
+            last_fmr: None,
+        });
+        if let Some(last) = entry.last_fmr {
+            if fmr > last * (1.0 + self.sensitivity) {
+                entry.d = entry.d.saturating_add(1).min(self.max_d);
+            } else if fmr < last * (1.0 - self.sensitivity) {
+                entry.d = entry.d.saturating_sub(1);
+            }
+        }
+        entry.last_fmr = Some(fmr);
+        entry.d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn controller() -> AdaptiveController {
+        AdaptiveController::new(0.2, 2, 8)
+    }
+
+    #[test]
+    fn first_report_only_records_baseline() {
+        let mut c = controller();
+        assert_eq!(c.report(1, 0.5), 2, "no change without a baseline");
+        assert_eq!(c.state(1).last_fmr, Some(0.5));
+    }
+
+    #[test]
+    fn rising_fmr_raises_d() {
+        let mut c = controller();
+        c.report(1, 0.10);
+        assert_eq!(c.report(1, 0.13), 3, "30% rise > s=20%");
+    }
+
+    #[test]
+    fn falling_fmr_lowers_d() {
+        let mut c = controller();
+        c.report(1, 0.10);
+        assert_eq!(c.report(1, 0.05), 1, "50% drop > s=20%");
+    }
+
+    #[test]
+    fn small_changes_keep_d() {
+        let mut c = controller();
+        c.report(1, 0.10);
+        assert_eq!(c.report(1, 0.11), 2, "10% rise within the band");
+        assert_eq!(c.report(1, 0.095), 2);
+    }
+
+    #[test]
+    fn d_is_clamped_at_bounds() {
+        let mut c = AdaptiveController::new(0.2, 0, 2);
+        c.report(1, 0.1);
+        // Keep rising well beyond the band.
+        assert_eq!(c.report(1, 0.2), 1);
+        assert_eq!(c.report(1, 0.4), 2);
+        assert_eq!(c.report(1, 0.8), 2, "clamped at max_d");
+        // And fall to the floor.
+        assert_eq!(c.report(1, 0.1), 1);
+        assert_eq!(c.report(1, 0.01), 0);
+        assert_eq!(c.report(1, 0.001), 0, "clamped at 0");
+    }
+
+    #[test]
+    fn clients_are_independent() {
+        let mut c = controller();
+        c.report(1, 0.1);
+        c.report(1, 0.2); // client 1 → d=3
+        assert_eq!(c.d(1), 3);
+        assert_eq!(c.d(2), 2, "fresh client keeps the initial d");
+    }
+
+    #[test]
+    fn zero_baseline_still_reacts_to_any_rise() {
+        let mut c = controller();
+        c.report(1, 0.0);
+        assert_eq!(c.report(1, 0.01), 3, "anything above 0·(1+s) rises");
+    }
+}

@@ -1,0 +1,15 @@
+//! The mobile application server (right half of Fig. 3): resumes remainder
+//! queries over the complete R-tree, builds the supporting index `Ir` in
+//! full / compact / d⁺-level compact form (§4.2–4.3), and runs the
+//! per-client adaptive controller that tunes `d` from reported false-miss
+//! rates (§4.3).
+
+mod adaptive;
+mod forms;
+mod server;
+pub mod updates;
+
+pub use adaptive::{AdaptiveController, AdaptiveState};
+pub use forms::{build_shipments, FormMode};
+pub use server::{ClientId, FormPolicy, Server, ServerConfig};
+pub use updates::{Update, UpdateLog, VersionedReply};

@@ -1,0 +1,337 @@
+//! The server: owns the dataset, the R*-tree, the BPT store and the
+//! adaptive controller, and turns remainder queries into replies.
+
+use crate::adaptive::AdaptiveController;
+use crate::forms::{build_shipments, FormMode};
+use pc_rtree::bpt::BptStore;
+use pc_rtree::engine::{execute, resume, AccessLog, NoopTracer, Outcome};
+use pc_rtree::proto::{QuerySpec, RemainderQuery, ServerReply};
+use pc_rtree::view::FullView;
+use pc_rtree::{ObjectStore, RTree, RTreeConfig};
+
+/// Identifier the server uses to keep per-client adaptive state.
+pub type ClientId = u32;
+
+/// Which proactive-caching variant the server implements (§6.4): full form
+/// (FPRO), normal compact form (CPRO) or adaptive d⁺-level (APRO).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FormPolicy {
+    Full,
+    Compact,
+    Adaptive,
+}
+
+impl FormPolicy {
+    pub fn name(&self) -> &'static str {
+        match self {
+            FormPolicy::Full => "FPRO",
+            FormPolicy::Compact => "CPRO",
+            FormPolicy::Adaptive => "APRO",
+        }
+    }
+}
+
+/// Server-side configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    pub form: FormPolicy,
+    /// Adaptive sensitivity `s` (Table 6.1: 20 %).
+    pub sensitivity: f64,
+    /// Initial d⁺-level for adaptive clients.
+    pub initial_d: u8,
+    /// Upper clamp for d (a BPT of a 4 KB page is ~11 deep).
+    pub max_d: u8,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            form: FormPolicy::Adaptive,
+            sensitivity: 0.2,
+            initial_d: 1,
+            max_d: 16,
+        }
+    }
+}
+
+/// The mobile application server of Fig. 3.
+#[derive(Clone, Debug)]
+pub struct Server {
+    tree: RTree,
+    bpts: BptStore,
+    store: ObjectStore,
+    cfg: ServerConfig,
+    adaptive: AdaptiveController,
+    updates: crate::updates::UpdateLog,
+}
+
+impl Server {
+    /// Bulk loads the index over `store` and prepares the BPTs offline.
+    pub fn new(store: ObjectStore, tree_cfg: RTreeConfig, cfg: ServerConfig) -> Self {
+        let objects: Vec<_> = store.iter().copied().collect();
+        let tree = RTree::bulk_load(tree_cfg, &objects);
+        let bpts = BptStore::build(&tree);
+        Server {
+            tree,
+            bpts,
+            store,
+            cfg,
+            adaptive: AdaptiveController::new(cfg.sensitivity, cfg.initial_d, cfg.max_d),
+            updates: crate::updates::UpdateLog::default(),
+        }
+    }
+
+    pub fn tree(&self) -> &RTree {
+        &self.tree
+    }
+
+    pub(crate) fn tree_mut(&mut self) -> &mut RTree {
+        &mut self.tree
+    }
+
+    pub(crate) fn store_mut(&mut self) -> &mut ObjectStore {
+        &mut self.store
+    }
+
+    /// Update/invalidation state (§7 extension).
+    pub fn update_log(&self) -> &crate::updates::UpdateLog {
+        &self.updates
+    }
+
+    pub(crate) fn update_log_mut(&mut self) -> &mut crate::updates::UpdateLog {
+        &mut self.updates
+    }
+
+    /// Rebuilds the BPT of one node after its entry set changed.
+    pub(crate) fn rebuild_bpt(&mut self, node: pc_rtree::NodeId) {
+        self.bpts.rebuild_node(&self.tree, node);
+    }
+
+    pub fn bpts(&self) -> &BptStore {
+        &self.bpts
+    }
+
+    pub fn store(&self) -> &ObjectStore {
+        &self.store
+    }
+
+    pub fn config(&self) -> &ServerConfig {
+        &self.cfg
+    }
+
+    /// Evaluates a query directly (no caching) — ground truth for the
+    /// simulator's metrics and the backend for the PAG/SEM baselines.
+    pub fn direct(&self, spec: &QuerySpec) -> Outcome {
+        let view = FullView::new(&self.tree, &self.bpts);
+        execute(&view, spec, &mut NoopTracer)
+    }
+
+    /// Stage ② of Fig. 3: resumes `Qr` from its heap, assembles `Rr`
+    /// (splitting confirmed-cached results from transmitted ones) and the
+    /// supporting index `Ir` in this server's form.
+    pub fn process_remainder(&self, client: ClientId, rq: &RemainderQuery) -> ServerReply {
+        let view = FullView::new(&self.tree, &self.bpts);
+        let mut log = AccessLog::default();
+        let outcome = resume(&view, rq, &mut log);
+        debug_assert!(outcome.remainder.is_none(), "server must finish queries");
+
+        let mode = match self.cfg.form {
+            FormPolicy::Full => FormMode::Full,
+            FormPolicy::Compact => FormMode::COMPACT,
+            FormPolicy::Adaptive => FormMode::DLevel(self.adaptive.d(client)),
+        };
+        let index = build_shipments(&log, &self.tree, &self.bpts, mode);
+
+        let mut confirmed = Vec::new();
+        let mut objects = Vec::new();
+        for &(id, cached) in &outcome.results {
+            if cached {
+                confirmed.push(id);
+            } else {
+                objects.push(*self.store.get(id));
+            }
+        }
+        ServerReply {
+            confirmed,
+            objects,
+            pairs: outcome.result_pairs,
+            index,
+            expansions: outcome.expansions,
+        }
+    }
+
+    /// Receives a client's periodic fmr report (§4.3); returns the new d.
+    pub fn report_fmr(&mut self, client: ClientId, fmr: f64) -> u8 {
+        self.adaptive.report(client, fmr)
+    }
+
+    /// Current d⁺-level the server would use for this client.
+    pub fn client_d(&self, client: ClientId) -> u8 {
+        self.adaptive.d(client)
+    }
+
+    /// Auxiliary BPT bytes (§6.4's "4.2 MB for NE" statistic).
+    pub fn bpt_bytes(&self) -> u64 {
+        self.bpts.total_aux_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pc_geom::{Point, Rect};
+    use pc_rtree::naive;
+    use pc_rtree::proto::{HeapEntry, Side};
+    use pc_rtree::{ObjectId, SpatialObject};
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn sample_server(n: usize, seed: u64, form: FormPolicy) -> Server {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let objects: Vec<SpatialObject> = (0..n)
+            .map(|i| SpatialObject {
+                id: ObjectId(i as u32),
+                mbr: Rect::from_point(Point::new(
+                    rng.random_range(0.0..1.0),
+                    rng.random_range(0.0..1.0),
+                )),
+                size_bytes: rng.random_range(100..2000),
+            })
+            .collect();
+        let store = ObjectStore::new(objects);
+        Server::new(
+            store,
+            RTreeConfig::small(),
+            ServerConfig {
+                form,
+                ..Default::default()
+            },
+        )
+    }
+
+    /// A cold-cache remainder: just the root cell (or root pair for joins).
+    fn cold_remainder(server: &Server, spec: QuerySpec) -> RemainderQuery {
+        let root = server.tree().root();
+        let mbr = server.tree().root_mbr().unwrap();
+        let side = Side::Cell {
+            cell: pc_rtree::proto::CellRef::node_root(root),
+            mbr,
+        };
+        let entry = if spec.is_join() {
+            HeapEntry::Pair(side, side)
+        } else {
+            HeapEntry::Single(side)
+        };
+        RemainderQuery {
+            spec,
+            already_found: 0,
+            heap: vec![(spec.key_for(&mbr), entry)],
+        }
+    }
+
+    #[test]
+    fn cold_remainder_range_returns_ground_truth() {
+        let server = sample_server(300, 1, FormPolicy::Adaptive);
+        let w = Rect::centered_square(Point::new(0.4, 0.6), 0.3);
+        let rq = cold_remainder(&server, QuerySpec::Range { window: w });
+        let reply = server.process_remainder(7, &rq);
+        let mut got: Vec<ObjectId> = reply.objects.iter().map(|o| o.id).collect();
+        got.sort_unstable();
+        assert_eq!(got, naive::range_naive(server.store(), &w));
+        assert!(reply.confirmed.is_empty(), "cold cache has nothing cached");
+        assert!(!reply.index.is_empty(), "Ir must accompany Rr");
+        assert!(reply.downlink_bytes() > 0);
+    }
+
+    #[test]
+    fn knn_reply_objects_arrive_in_distance_order() {
+        let server = sample_server(300, 2, FormPolicy::Compact);
+        let p = Point::new(0.5, 0.5);
+        let rq = cold_remainder(&server, QuerySpec::Knn { center: p, k: 8 });
+        let reply = server.process_remainder(1, &rq);
+        assert_eq!(reply.objects.len(), 8);
+        let d: Vec<f64> = reply.objects.iter().map(|o| o.mbr.min_dist(&p)).collect();
+        for w in d.windows(2) {
+            assert!(w[0] <= w[1] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn join_reply_matches_naive() {
+        let server = sample_server(120, 3, FormPolicy::Adaptive);
+        let dist = 0.03;
+        let rq = cold_remainder(&server, QuerySpec::Join { dist });
+        let reply = server.process_remainder(1, &rq);
+        let mut pairs = reply.pairs.clone();
+        pairs.sort_unstable();
+        assert_eq!(pairs, naive::join_naive(server.store(), dist));
+        // All pair members must be transmitted exactly once.
+        let mut ids: Vec<ObjectId> = reply.objects.iter().map(|o| o.id).collect();
+        ids.sort_unstable();
+        let mut expect: Vec<ObjectId> = pairs
+            .iter()
+            .flat_map(|&(a, b)| [a, b])
+            .collect();
+        expect.sort_unstable();
+        expect.dedup();
+        assert_eq!(ids, expect);
+    }
+
+    #[test]
+    fn form_policy_sizes_are_ordered() {
+        // Same remainder, three form policies: compact ≤ adaptive(d) ≤ full
+        // in index bytes.
+        let spec = QuerySpec::Knn {
+            center: Point::new(0.25, 0.75),
+            k: 3,
+        };
+        let full = sample_server(400, 4, FormPolicy::Full);
+        let compact = sample_server(400, 4, FormPolicy::Compact);
+        let adaptive = sample_server(400, 4, FormPolicy::Adaptive);
+        let b_full = full
+            .process_remainder(1, &cold_remainder(&full, spec))
+            .index_bytes();
+        let b_compact = compact
+            .process_remainder(1, &cold_remainder(&compact, spec))
+            .index_bytes();
+        let b_adaptive = adaptive
+            .process_remainder(1, &cold_remainder(&adaptive, spec))
+            .index_bytes();
+        assert!(b_compact <= b_adaptive, "{b_compact} > {b_adaptive}");
+        assert!(b_adaptive <= b_full, "{b_adaptive} > {b_full}");
+        assert!(b_compact < b_full, "compact must actually save bytes");
+    }
+
+    #[test]
+    fn adaptive_d_feedback_changes_future_forms() {
+        let mut server = sample_server(400, 5, FormPolicy::Adaptive);
+        let spec = QuerySpec::Knn {
+            center: Point::new(0.5, 0.5),
+            k: 2,
+        };
+        let before = server
+            .process_remainder(9, &cold_remainder(&server, spec))
+            .index_bytes();
+        // Report a strongly rising fmr twice: d goes up by 2.
+        server.report_fmr(9, 0.1);
+        server.report_fmr(9, 0.5);
+        server.report_fmr(9, 0.9);
+        assert!(server.client_d(9) > ServerConfig::default().initial_d);
+        let after = server
+            .process_remainder(9, &cold_remainder(&server, spec))
+            .index_bytes();
+        assert!(after >= before, "higher d must not shrink the form");
+    }
+
+    #[test]
+    fn bpt_bytes_within_twice_index_size() {
+        // §4.2: "the additional space required to store the binary
+        // partition trees … is no more than two times that of the R-tree
+        // index itself."
+        let server = sample_server(500, 6, FormPolicy::Adaptive);
+        let aux = server.bpt_bytes();
+        let index = server.tree().stats().index_bytes;
+        assert!(aux > 0);
+        assert!(aux <= 2 * index, "aux {aux} vs index {index}");
+    }
+}

@@ -1,0 +1,333 @@
+//! Server updates and cache invalidation — the paper's §7 future work
+//! ("we plan to investigate the impact of server updates on proactive
+//! caching and devise efficient cache invalidation schemes"), built as an
+//! epoch-stamped invalidation protocol:
+//!
+//! * every update batch bumps the server **epoch** and records which index
+//!   nodes changed (the R-tree reports its dirty set; BPTs are rebuilt);
+//! * a client attaches its last-synced epoch to each remainder query;
+//! * a behind-epoch contact is refused ([`VersionedReply::Stale`]) with the
+//!   changed-node list: the client drops those items (with descendants,
+//!   per the §5 constraint), re-runs stage ① against the cleaned cache and
+//!   resubmits — one extra round trip per epoch gap, charged honestly by
+//!   the experiments.
+//!
+//! Consistency model: answers computed *at* a contact reflect the current
+//! server state exactly; purely local answers between contacts may be
+//! stale (bounded by contact frequency). This is the standard trade-off
+//! for invalidation-on-contact schemes without a downlink broadcast
+//! channel.
+
+use crate::server::{ClientId, Server};
+use pc_geom::Rect;
+use pc_rtree::proto::{RemainderQuery, ServerReply};
+use pc_rtree::{NodeId, ObjectId, SpatialObject};
+use std::collections::HashMap;
+
+/// One server-side data change.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Update {
+    /// A new object appears (id assigned by the store).
+    Insert { mbr: Rect, size_bytes: u32 },
+    /// An object disappears.
+    Delete(ObjectId),
+    /// An object relocates.
+    Move { id: ObjectId, to: Rect },
+}
+
+/// Reply of the version-aware remainder protocol.
+#[derive(Clone, Debug)]
+pub enum VersionedReply {
+    /// The resume is valid; `invalidate` lists nodes changed since the
+    /// client's epoch (piggybacked; the client drops its stale copies).
+    Fresh {
+        reply: ServerReply,
+        invalidate: Vec<NodeId>,
+        epoch: u64,
+    },
+    /// The remainder referenced changed nodes: the client must invalidate
+    /// and re-run stage ① against its cleaned cache.
+    Stale {
+        invalidate: Vec<NodeId>,
+        epoch: u64,
+    },
+}
+
+/// Update/invalidation state bolted onto a [`Server`].
+#[derive(Clone, Debug, Default)]
+pub struct UpdateLog {
+    epoch: u64,
+    /// Node → epoch of its most recent change.
+    node_changes: HashMap<NodeId, u64>,
+    /// Tombstoned objects (the store keeps dense ids; the index no longer
+    /// reaches them).
+    deleted: Vec<ObjectId>,
+}
+
+impl UpdateLog {
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Nodes changed after `since`, sorted.
+    pub fn changed_since(&self, since: u64) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = self
+            .node_changes
+            .iter()
+            .filter(|(_, &e)| e > since)
+            .map(|(&n, _)| n)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    pub fn deleted_objects(&self) -> &[ObjectId] {
+        &self.deleted
+    }
+}
+
+impl Server {
+    /// Applies one batch of updates atomically: mutates the store and the
+    /// R*-tree, rebuilds the BPTs of changed nodes, bumps the epoch and
+    /// records the changed-node set. Returns the new epoch.
+    pub fn apply_updates(&mut self, updates: &[Update]) -> u64 {
+        for u in updates {
+            match *u {
+                Update::Insert { mbr, size_bytes } => {
+                    let id = self.store_mut().push(mbr, size_bytes);
+                    let obj = *self.store().get(id);
+                    self.tree_mut().insert(&obj);
+                }
+                Update::Delete(id) => {
+                    let mbr = self.store().get(id).mbr;
+                    if self.tree_mut().delete(id, &mbr) {
+                        self.update_log_mut().deleted.push(id);
+                    }
+                }
+                Update::Move { id, to } => {
+                    let from = self.store().get(id).mbr;
+                    if self.tree_mut().delete(id, &from) {
+                        self.store_mut().set_mbr(id, to);
+                        let obj = *self.store().get(id);
+                        self.tree_mut().insert(&obj);
+                    }
+                }
+            }
+        }
+        let dirty = self.tree_mut().take_dirty();
+        self.update_log_mut().epoch += 1;
+        let epoch = self.update_log().epoch;
+        for n in dirty {
+            self.rebuild_bpt(n);
+            self.update_log_mut().node_changes.insert(n, epoch);
+        }
+        epoch
+    }
+
+    /// The version-aware stage ② of the invalidation protocol.
+    ///
+    /// Conservative rule: *any* epoch gap refuses the resume. A weaker rule
+    /// (refuse only when the heap references changed nodes) would keep the
+    /// resume sound, but the client's stage-① portion `Rs` was computed
+    /// against stale cached leaves the heap never mentions — the answer
+    /// could serve deleted or moved objects at a server contact. Refusing
+    /// forces the client to invalidate and re-run stage ① against cleaned
+    /// state, making every contact answer current; the price is one extra
+    /// round trip per (client × update-epoch) gap, which the experiments
+    /// charge honestly.
+    pub fn process_remainder_versioned(
+        &self,
+        client: ClientId,
+        rq: &RemainderQuery,
+        client_epoch: u64,
+    ) -> VersionedReply {
+        let invalidate = self.update_log().changed_since(client_epoch);
+        if !invalidate.is_empty() {
+            return VersionedReply::Stale {
+                invalidate,
+                epoch: self.update_log().epoch,
+            };
+        }
+        VersionedReply::Fresh {
+            reply: self.process_remainder(client, rq),
+            invalidate,
+            epoch: self.update_log().epoch,
+        }
+    }
+
+    /// A versioned direct query for baselines/ground truth after updates.
+    pub fn direct_current(&self, spec: &pc_rtree::proto::QuerySpec) -> Vec<SpatialObject> {
+        self.direct(spec)
+            .results
+            .iter()
+            .map(|&(id, _)| *self.store().get(id))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::ServerConfig;
+    use pc_geom::Point;
+    use pc_rtree::naive;
+    use pc_rtree::proto::{CellRef, HeapEntry, QuerySpec, Side};
+    use pc_rtree::{ObjectStore, RTreeConfig};
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn sample_server(n: usize, seed: u64) -> Server {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let objects: Vec<SpatialObject> = (0..n)
+            .map(|i| SpatialObject {
+                id: ObjectId(i as u32),
+                mbr: Rect::from_point(Point::new(
+                    rng.random_range(0.0..1.0),
+                    rng.random_range(0.0..1.0),
+                )),
+                size_bytes: 1000,
+            })
+            .collect();
+        Server::new(
+            ObjectStore::new(objects),
+            RTreeConfig::small(),
+            ServerConfig::default(),
+        )
+    }
+
+    #[test]
+    fn updates_bump_epoch_and_record_changes() {
+        let mut server = sample_server(200, 1);
+        assert_eq!(server.update_log().epoch(), 0);
+        let e1 = server.apply_updates(&[Update::Insert {
+            mbr: Rect::from_point(Point::new(0.5, 0.5)),
+            size_bytes: 777,
+        }]);
+        assert_eq!(e1, 1);
+        assert!(!server.update_log().changed_since(0).is_empty());
+        assert!(server.update_log().changed_since(1).is_empty());
+    }
+
+    #[test]
+    fn queries_reflect_updates() {
+        let mut server = sample_server(200, 2);
+        let w = Rect::centered_square(Point::new(0.5, 0.5), 0.1);
+        let before = naive::range_naive(server.store(), &w).len();
+        // Drop everything currently in the window, then add one point.
+        let victims: Vec<Update> = naive::range_naive(server.store(), &w)
+            .into_iter()
+            .map(Update::Delete)
+            .collect();
+        server.apply_updates(&victims);
+        server.apply_updates(&[Update::Insert {
+            mbr: Rect::from_point(Point::new(0.5, 0.5)),
+            size_bytes: 123,
+        }]);
+        let outcome = server.direct(&QuerySpec::Range { window: w });
+        assert_eq!(outcome.results.len(), 1, "was {before}, all deleted, one added");
+        server.tree().validate(server.tree().object_count(), false).unwrap();
+    }
+
+    #[test]
+    fn moves_relocate_objects() {
+        let mut server = sample_server(150, 3);
+        let id = ObjectId(0);
+        let to = Rect::from_point(Point::new(0.99, 0.99));
+        server.apply_updates(&[Update::Move { id, to }]);
+        let knn = server.direct(&QuerySpec::Knn {
+            center: Point::new(0.99, 0.99),
+            k: 1,
+        });
+        assert_eq!(knn.results[0].0, id, "moved object is now the nearest");
+    }
+
+    #[test]
+    fn stale_remainder_is_refused() {
+        let mut server = sample_server(200, 4);
+        server.apply_updates(&[Update::Delete(ObjectId(5))]);
+        // A remainder whose heap references one of the nodes the delete
+        // changed must be refused when the client is behind (epoch 0).
+        // (A remainder through *unchanged* nodes stays resumable — the
+        // companion test below — so we target a changed leaf explicitly.)
+        let changed = server.update_log().changed_since(0);
+        assert!(!changed.is_empty());
+        let leaf = *changed
+            .iter()
+            .find(|n| server.tree().node(**n).is_leaf())
+            .expect("delete dirties its leaf");
+        let mbr = server.tree().node(leaf).mbr().unwrap();
+        let rq = RemainderQuery {
+            spec: QuerySpec::Range { window: mbr },
+            already_found: 0,
+            heap: vec![(
+                0.0,
+                HeapEntry::Single(Side::Cell {
+                    cell: CellRef::node_root(leaf),
+                    mbr,
+                }),
+            )],
+        };
+        match server.process_remainder_versioned(0, &rq, 0) {
+            VersionedReply::Stale { invalidate, epoch } => {
+                assert_eq!(epoch, 1);
+                assert!(invalidate.contains(&leaf));
+            }
+            VersionedReply::Fresh { .. } => panic!("must refuse a stale resume"),
+        }
+        // With the current epoch it goes through.
+        match server.process_remainder_versioned(0, &rq, 1) {
+            VersionedReply::Fresh { reply, invalidate, .. } => {
+                assert!(invalidate.is_empty());
+                assert!(!reply.index.is_empty());
+            }
+            VersionedReply::Stale { .. } => panic!("current epoch must be fresh"),
+        }
+    }
+
+    #[test]
+    fn any_epoch_gap_is_refused_even_over_unchanged_nodes() {
+        // Conservative protocol: the client's stage-① answer may have used
+        // stale leaves the heap never mentions, so *any* gap refuses.
+        let mut server = sample_server(400, 5);
+        let far = server
+            .direct(&QuerySpec::Knn {
+                center: Point::new(0.95, 0.95),
+                k: 1,
+            })
+            .results[0]
+            .0;
+        server.apply_updates(&[Update::Delete(far)]);
+        let changed: std::collections::HashSet<NodeId> =
+            server.update_log().changed_since(0).into_iter().collect();
+        let unchanged_leaf = server
+            .tree()
+            .node_ids()
+            .into_iter()
+            .find(|n| server.tree().node(*n).is_leaf() && !changed.contains(n))
+            .expect("some leaf unchanged");
+        let mbr = server.tree().node(unchanged_leaf).mbr().unwrap();
+        let rq = RemainderQuery {
+            spec: QuerySpec::Range { window: mbr },
+            already_found: 0,
+            heap: vec![(
+                0.0,
+                HeapEntry::Single(Side::Cell {
+                    cell: CellRef::node_root(unchanged_leaf),
+                    mbr,
+                }),
+            )],
+        };
+        match server.process_remainder_versioned(0, &rq, 0) {
+            VersionedReply::Stale { invalidate, .. } => {
+                assert!(!invalidate.is_empty());
+            }
+            VersionedReply::Fresh { .. } => {
+                panic!("behind-epoch contact must be refused")
+            }
+        }
+        match server.process_remainder_versioned(0, &rq, server.update_log().epoch()) {
+            VersionedReply::Fresh { invalidate, .. } => assert!(invalidate.is_empty()),
+            VersionedReply::Stale { .. } => panic!("current epoch must be fresh"),
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! Collaboration-extension tests: peer serving must preserve exactness,
+//! transfer payloads the origin lacks, and actually offload the server
+//! when a warm neighbor covers the query.
+
+use super::*;
+use pc_cache::{Catalog, ReplacementPolicy};
+use pc_client::Client;
+use pc_geom::{Point, Rect};
+use pc_net::Channel;
+use pc_rtree::naive;
+use pc_rtree::proto::QuerySpec;
+use pc_rtree::RTreeConfig;
+use pc_server::{Server, ServerConfig};
+use pc_workload::datasets;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn setup(n: usize, clients: usize, seed: u64) -> (Server, Vec<Client>) {
+    let store = datasets::ne_like(n, seed);
+    let server = Server::new(store, RTreeConfig::small(), ServerConfig::default());
+    let fleet = (0..clients)
+        .map(|_| {
+            Client::new(
+                1 << 22,
+                ReplacementPolicy::Grd3,
+                Catalog::from_tree(server.tree()),
+            )
+        })
+        .collect();
+    (server, fleet)
+}
+
+fn channels() -> (Channel, Channel) {
+    (local_channel(), Channel::paper())
+}
+
+fn run(
+    clients: &mut [Client],
+    positions: &[Point],
+    origin: usize,
+    server: &Server,
+    spec: &QuerySpec,
+) -> CollabOutcome {
+    let (l, r) = channels();
+    query_with_peers(
+        clients, positions, origin, 1.0, 3, server, spec, (&l, &r), 0.0,
+    )
+}
+
+#[test]
+fn warm_peer_fully_serves_a_cold_neighbor() {
+    let (server, mut fleet) = setup(600, 2, 1);
+    let here = Point::new(0.31, 0.36);
+    let positions = vec![here, here];
+    let spec = QuerySpec::Range {
+        window: Rect::centered_square(here, 0.15),
+    };
+    // Warm client 1 through the normal pipeline.
+    let warm = run(&mut fleet[1..], &positions[1..], 0, &server, &spec);
+    assert!(warm.server_contacted, "cold fleet must hit the server once");
+
+    // Client 0 (cold) now asks: peer 1 must cover everything.
+    let out = run(&mut fleet, &positions, 0, &server, &spec);
+    assert!(
+        !out.server_contacted,
+        "a fully-warm neighbor must absorb the query"
+    );
+    assert_eq!(out.peers_asked, 1);
+    assert!(out.peer_served > 0);
+    let mut got = out.objects.clone();
+    got.sort_unstable();
+    let QuerySpec::Range { window } = spec else { unreachable!() };
+    assert_eq!(got, naive::range_naive(server.store(), &window));
+    // And the payloads were transferred: client 0 can answer locally now.
+    fleet[0].begin_query();
+    let local = fleet[0].run_local(&spec);
+    assert!(local.complete(), "origin cache must have been warmed by peer");
+}
+
+#[test]
+fn random_fleet_answers_always_match_direct() {
+    let (server, mut fleet) = setup(500, 3, 2);
+    let mut rng = SmallRng::seed_from_u64(3);
+    for round in 0..60 {
+        let positions: Vec<Point> = (0..3)
+            .map(|_| Point::new(rng.random_range(0.1..0.9), rng.random_range(0.1..0.9)))
+            .collect();
+        let origin = rng.random_range(0..3);
+        let spec = match round % 3 {
+            0 => QuerySpec::Range {
+                window: Rect::centered_square(positions[origin], rng.random_range(0.05..0.2)),
+            },
+            1 => QuerySpec::Knn {
+                center: positions[origin],
+                k: rng.random_range(1..6),
+            },
+            _ => QuerySpec::Join {
+                dist: rng.random_range(0.001..0.01),
+            },
+        };
+        let out = run(&mut fleet, &positions, origin, &server, &spec);
+        for c in &fleet {
+            c.cache().validate().unwrap();
+        }
+        match &spec {
+            QuerySpec::Range { window } => {
+                let mut got = out.objects.clone();
+                got.sort_unstable();
+                assert_eq!(got, naive::range_naive(server.store(), window), "round {round}");
+            }
+            QuerySpec::Knn { center, k } => {
+                let want = naive::knn_naive(server.store(), center, *k as usize);
+                assert_eq!(out.objects.len(), want.len(), "round {round}");
+                let mut got_d: Vec<f64> = out
+                    .objects
+                    .iter()
+                    .map(|id| server.store().get(*id).mbr.min_dist(center))
+                    .collect();
+                got_d.sort_by(f64::total_cmp);
+                for (g, (_, w)) in got_d.iter().zip(&want) {
+                    assert!((g - w).abs() < 1e-12, "round {round}");
+                }
+            }
+            QuerySpec::Join { dist } => {
+                assert_eq!(out.pairs, naive::join_naive(server.store(), *dist), "round {round}");
+            }
+        }
+    }
+}
+
+#[test]
+fn out_of_range_peers_are_not_consulted() {
+    let (server, mut fleet) = setup(300, 2, 4);
+    let positions = vec![Point::new(0.2, 0.2), Point::new(0.9, 0.9)];
+    let spec = QuerySpec::Knn {
+        center: positions[0],
+        k: 3,
+    };
+    let (l, r) = channels();
+    let out = query_with_peers(
+        &mut fleet, &positions, 0, 0.1, 3, &server, &spec, (&l, &r), 0.0,
+    );
+    assert_eq!(out.peers_asked, 0, "peer at distance ~1 is out of range 0.1");
+    assert!(out.server_contacted);
+}
+
+#[test]
+fn peer_chain_shrinks_the_remainder_monotonically() {
+    // Two half-warm peers with different neighborhoods: the origin's
+    // remainder must shrink (or at least not grow) across the chain, and
+    // the local channel must carry real bytes.
+    let (server, mut fleet) = setup(800, 3, 5);
+    let a = Point::new(0.3, 0.35);
+    let b = Point::new(0.33, 0.37);
+    let positions = vec![a, a, b];
+    // Warm peers 1 and 2 on adjacent windows.
+    let w1 = QuerySpec::Range {
+        window: Rect::centered_square(a, 0.12),
+    };
+    let w2 = QuerySpec::Range {
+        window: Rect::centered_square(b, 0.12),
+    };
+    run(&mut fleet[1..2], &positions[1..2], 0, &server, &w1);
+    run(&mut fleet[2..3], &positions[2..3], 0, &server, &w2);
+
+    // Origin asks for the union area.
+    let big = QuerySpec::Range {
+        window: Rect::from_coords(0.24, 0.29, 0.39, 0.43),
+    };
+    let out = run(&mut fleet, &positions, 0, &server, &big);
+    assert!(out.peers_asked >= 1);
+    assert!(out.local_bytes > 0);
+    assert!(out.peer_served > 0, "peers must contribute results");
+    let mut got = out.objects.clone();
+    got.sort_unstable();
+    let QuerySpec::Range { window } = big else { unreachable!() };
+    assert_eq!(got, naive::range_naive(server.store(), &window));
+}
+
+#[test]
+fn empty_fleet_degenerates_to_client_server() {
+    let (server, mut fleet) = setup(300, 1, 6);
+    let positions = vec![Point::new(0.5, 0.5)];
+    let spec = QuerySpec::Knn {
+        center: positions[0],
+        k: 4,
+    };
+    let out = run(&mut fleet, &positions, 0, &server, &spec);
+    assert_eq!(out.peers_asked, 0);
+    assert!(out.server_contacted);
+    assert_eq!(out.local_bytes, 0);
+    assert_eq!(out.objects.len(), 4);
+}

@@ -1,0 +1,295 @@
+//! Per-query records, aggregate summaries, and the 500-query time series
+//! the §6.4 figures plot.
+
+use pc_rtree::proto::QuerySpec;
+
+/// Query type tag for per-kind breakdowns.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum QueryKind {
+    #[default]
+    Range,
+    Knn,
+    Join,
+}
+
+impl QueryKind {
+    pub fn of(spec: &QuerySpec) -> Self {
+        match spec {
+            QuerySpec::Range { .. } => QueryKind::Range,
+            QuerySpec::Knn { .. } => QueryKind::Knn,
+            QuerySpec::Join { .. } => QueryKind::Join,
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            QueryKind::Range => "range",
+            QueryKind::Knn => "knn",
+            QueryKind::Join => "join",
+        }
+    }
+}
+
+/// Everything measured for one query.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct QueryRecord {
+    pub kind: QueryKind,
+    pub uplink_bytes: u64,
+    pub downlink_bytes: u64,
+    pub saved_bytes: u64,
+    pub confirmed_bytes: u64,
+    pub transmitted_bytes: u64,
+    pub result_bytes: u64,
+    /// Payload bytes of results that were cached at issue time (`R ∩ C`).
+    pub cached_result_bytes: u64,
+    pub avg_response_s: f64,
+    pub completion_s: f64,
+    pub result_count: u32,
+    /// Result objects cached at issue time.
+    pub cached_results: u32,
+    /// Of those, not served locally (the numerator of fmr).
+    pub false_misses: u32,
+    pub contacted: bool,
+    pub client_cpu_s: f64,
+    pub server_cpu_s: f64,
+    pub client_expansions: u64,
+}
+
+/// Aggregates over a whole run (or a window).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Summary {
+    pub queries: usize,
+    pub avg_uplink_bytes: f64,
+    pub avg_downlink_bytes: f64,
+    /// Mean of the per-query §4.1 response time, over queries with results.
+    pub avg_response_s: f64,
+    /// Cache hit rate `hit_c = Σ|Rs| / Σ|R|` (bytes).
+    pub hit_c: f64,
+    /// Byte hit rate `hit_b = Σ|R∩C| / Σ|R|` (bytes).
+    pub hit_b: f64,
+    /// False-miss rate `P(o ∉ Rs | o ∈ R∩C)` (objects).
+    pub fmr: f64,
+    pub avg_client_cpu_ms: f64,
+    pub avg_server_cpu_ms: f64,
+    /// Fraction of queries that contacted the server.
+    pub contact_rate: f64,
+    pub avg_client_expansions: f64,
+}
+
+impl Summary {
+    fn from_records(records: &[QueryRecord]) -> Summary {
+        let n = records.len();
+        if n == 0 {
+            return Summary::default();
+        }
+        let mut s = Summary {
+            queries: n,
+            ..Default::default()
+        };
+        let mut result_bytes = 0u64;
+        let mut saved_bytes = 0u64;
+        let mut cached_bytes = 0u64;
+        let mut cached_objs = 0u64;
+        let mut false_misses = 0u64;
+        let mut resp_sum = 0.0;
+        let mut resp_n = 0usize;
+        for r in records {
+            s.avg_uplink_bytes += r.uplink_bytes as f64;
+            s.avg_downlink_bytes += r.downlink_bytes as f64;
+            s.avg_client_cpu_ms += r.client_cpu_s * 1e3;
+            s.avg_server_cpu_ms += r.server_cpu_s * 1e3;
+            s.avg_client_expansions += r.client_expansions as f64;
+            s.contact_rate += r.contacted as u8 as f64;
+            result_bytes += r.result_bytes;
+            saved_bytes += r.saved_bytes;
+            cached_bytes += r.cached_result_bytes;
+            cached_objs += r.cached_results as u64;
+            false_misses += r.false_misses as u64;
+            if r.result_bytes > 0 {
+                resp_sum += r.avg_response_s;
+                resp_n += 1;
+            }
+        }
+        let nf = n as f64;
+        s.avg_uplink_bytes /= nf;
+        s.avg_downlink_bytes /= nf;
+        s.avg_client_cpu_ms /= nf;
+        s.avg_server_cpu_ms /= nf;
+        s.avg_client_expansions /= nf;
+        s.contact_rate /= nf;
+        s.avg_response_s = if resp_n > 0 { resp_sum / resp_n as f64 } else { 0.0 };
+        s.hit_c = ratio(saved_bytes, result_bytes);
+        s.hit_b = ratio(cached_bytes, result_bytes);
+        s.fmr = ratio(false_misses, cached_objs);
+        s
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// One point of the Fig. 11 time series (aggregated over `window` queries).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WindowPoint {
+    /// Index of the last query in the window (1-based).
+    pub query_end: usize,
+    pub fmr: f64,
+    /// Index bytes / cache capacity at window end (Fig. 11(b)'s `i/c`).
+    pub index_to_cache: f64,
+    pub avg_response_s: f64,
+    pub hit_c: f64,
+}
+
+/// Full simulation output.
+#[derive(Clone, Debug, Default)]
+pub struct SimResult {
+    pub records: Vec<QueryRecord>,
+    pub summary: Summary,
+    pub windows: Vec<WindowPoint>,
+    window_size: usize,
+    window_start: usize,
+    last_index_bytes: u64,
+    last_capacity: u64,
+}
+
+impl SimResult {
+    pub(crate) fn new(window_size: usize) -> Self {
+        SimResult {
+            window_size: window_size.max(1),
+            ..Default::default()
+        }
+    }
+
+    pub(crate) fn push(
+        &mut self,
+        record: QueryRecord,
+        _cache_used: u64,
+        index_bytes: u64,
+        capacity: u64,
+    ) {
+        self.records.push(record);
+        self.last_index_bytes = index_bytes;
+        self.last_capacity = capacity;
+        if self.records.len() - self.window_start == self.window_size {
+            self.close_window();
+        }
+    }
+
+    fn close_window(&mut self) {
+        let slice = &self.records[self.window_start..];
+        let s = Summary::from_records(slice);
+        self.windows.push(WindowPoint {
+            query_end: self.records.len(),
+            fmr: s.fmr,
+            index_to_cache: ratio(self.last_index_bytes, self.last_capacity),
+            avg_response_s: s.avg_response_s,
+            hit_c: s.hit_c,
+        });
+        self.window_start = self.records.len();
+    }
+
+    pub(crate) fn finish(&mut self) {
+        if self.records.len() > self.window_start {
+            self.close_window();
+        }
+        self.summary = Summary::from_records(&self.records);
+    }
+
+    /// Per-kind summaries (range / knn / join).
+    pub fn by_kind(&self, kind: QueryKind) -> Summary {
+        let filtered: Vec<QueryRecord> = self
+            .records
+            .iter()
+            .copied()
+            .filter(|r| r.kind == kind)
+            .collect();
+        Summary::from_records(&filtered)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(saved: u64, cached: u64, total: u64, fm: u32, cobj: u32) -> QueryRecord {
+        QueryRecord {
+            kind: QueryKind::Range,
+            saved_bytes: saved,
+            cached_result_bytes: cached,
+            result_bytes: total,
+            false_misses: fm,
+            cached_results: cobj,
+            avg_response_s: 1.0,
+            uplink_bytes: 100,
+            downlink_bytes: 200,
+            contacted: true,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn summary_rates() {
+        let mut r = SimResult::new(10);
+        r.push(rec(500, 800, 1000, 1, 4), 0, 0, 1);
+        r.push(rec(0, 0, 1000, 0, 0), 0, 0, 1);
+        r.finish();
+        let s = r.summary;
+        assert_eq!(s.queries, 2);
+        assert!((s.hit_c - 0.25).abs() < 1e-12);
+        assert!((s.hit_b - 0.4).abs() < 1e-12);
+        assert!((s.fmr - 0.25).abs() < 1e-12);
+        assert!((s.avg_uplink_bytes - 100.0).abs() < 1e-12);
+        assert!((s.avg_downlink_bytes - 200.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_result_summary_is_zero() {
+        let mut r = SimResult::new(5);
+        r.finish();
+        assert_eq!(r.summary.queries, 0);
+        assert_eq!(r.summary.hit_c, 0.0);
+        assert!(r.windows.is_empty());
+    }
+
+    #[test]
+    fn windows_close_on_boundary_and_at_end() {
+        let mut r = SimResult::new(2);
+        for _ in 0..5 {
+            r.push(rec(0, 0, 100, 0, 0), 0, 50, 100);
+        }
+        r.finish();
+        assert_eq!(r.windows.len(), 3, "2+2+1 queries");
+        assert_eq!(r.windows[0].query_end, 2);
+        assert_eq!(r.windows[2].query_end, 5);
+        assert!((r.windows[0].index_to_cache - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn response_average_skips_empty_results() {
+        let mut r = SimResult::new(10);
+        let mut empty = rec(0, 0, 0, 0, 0);
+        empty.avg_response_s = 99.0; // must be ignored
+        r.push(rec(0, 0, 100, 0, 0), 0, 0, 1);
+        r.push(empty, 0, 0, 1);
+        r.finish();
+        assert!((r.summary.avg_response_s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn by_kind_filters() {
+        let mut r = SimResult::new(10);
+        r.push(rec(0, 0, 100, 0, 0), 0, 0, 1);
+        let mut k = rec(0, 0, 100, 0, 0);
+        k.kind = QueryKind::Join;
+        r.push(k, 0, 0, 1);
+        r.finish();
+        assert_eq!(r.by_kind(QueryKind::Range).queries, 1);
+        assert_eq!(r.by_kind(QueryKind::Join).queries, 1);
+        assert_eq!(r.by_kind(QueryKind::Knn).queries, 0);
+    }
+}

@@ -1,0 +1,123 @@
+//! Client driver for the §7 update/invalidation extension: wraps the
+//! proactive [`Client`] with epoch tracking and the stale-retry loop.
+
+use pc_cache::{Catalog, ReplacementPolicy};
+use pc_client::{Client, QueryAnswer};
+use pc_geom::Point;
+use pc_net::Ledger;
+use pc_rtree::proto::{QuerySpec, CONFIRM_BYTES, OBJECT_HEADER_BYTES, PAIR_BYTES};
+use pc_rtree::NodeId;
+use pc_server::{Server, VersionedReply};
+
+/// Outcome of one version-aware query.
+#[derive(Clone, Debug, Default)]
+pub struct UpdatingOutcome {
+    pub answer: QueryAnswer,
+    pub ledger: Ledger,
+    /// Server contacts this query needed (1 normally; 2 when the first
+    /// remainder was refused as stale).
+    pub round_trips: u32,
+    /// Node items dropped by invalidation during this query.
+    pub invalidated_items: usize,
+}
+
+/// A proactive client that follows the epoch-stamped invalidation protocol.
+pub struct UpdatingClient {
+    client: Client,
+    epoch: u64,
+}
+
+impl UpdatingClient {
+    pub fn new(capacity: u64, policy: ReplacementPolicy, catalog: Catalog) -> Self {
+        UpdatingClient {
+            client: Client::new(capacity, policy, catalog),
+            epoch: 0,
+        }
+    }
+
+    pub fn client(&self) -> &Client {
+        &self.client
+    }
+
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    fn apply_invalidations(&mut self, nodes: &[NodeId]) -> usize {
+        let mut dropped = 0;
+        for &n in nodes {
+            let (items, _) = self.client.cache_mut().invalidate_node(n);
+            dropped += items;
+        }
+        dropped
+    }
+
+    /// Runs one query to completion, retrying after stale refusals.
+    pub fn query(
+        &mut self,
+        server: &Server,
+        spec: &QuerySpec,
+        pos: Point,
+        server_time_s: f64,
+    ) -> UpdatingOutcome {
+        let mut out = UpdatingOutcome::default();
+        self.client.begin_query();
+        // A stale refusal can only happen once per update epoch the client
+        // is behind; with a bounded number of retries we either catch up or
+        // something is structurally wrong.
+        for _attempt in 0..4 {
+            let local = self.client.run_local(spec);
+            out.ledger.saved_bytes = local
+                .saved
+                .iter()
+                .map(|&id| server.store().get(id).size_bytes as u64)
+                .sum();
+            let Some(rq) = &local.remainder else {
+                out.answer = self.client.assemble(&local, None);
+                return out;
+            };
+            out.round_trips += 1;
+            out.ledger.contacted_server = true;
+            out.ledger.uplink_bytes += rq.uplink_bytes();
+            out.ledger.server_time_s += server_time_s;
+            match server.process_remainder_versioned(0, rq, self.epoch) {
+                VersionedReply::Fresh {
+                    reply,
+                    invalidate,
+                    epoch,
+                } => {
+                    out.invalidated_items += self.apply_invalidations(&invalidate);
+                    out.ledger.extra_downlink_bytes += invalidate.len() as u64 * 8;
+                    self.epoch = epoch;
+                    out.ledger.confirmed_bytes += reply
+                        .confirmed
+                        .iter()
+                        .map(|&id| server.store().get(id).size_bytes as u64)
+                        .sum::<u64>();
+                    out.ledger.confirm_wire_bytes +=
+                        reply.confirmed.len() as u64 * CONFIRM_BYTES;
+                    out.ledger
+                        .transmitted
+                        .extend(reply.objects.iter().map(|o| o.size_bytes));
+                    out.ledger.transmitted_header_bytes +=
+                        reply.objects.len() as u64 * OBJECT_HEADER_BYTES;
+                    out.ledger.extra_downlink_bytes +=
+                        reply.index_bytes() + reply.pairs.len() as u64 * PAIR_BYTES;
+                    self.client.absorb(&reply, pos);
+                    out.answer = self.client.assemble(&local, Some(&reply));
+                    return out;
+                }
+                VersionedReply::Stale { invalidate, epoch } => {
+                    out.invalidated_items += self.apply_invalidations(&invalidate);
+                    out.ledger.extra_downlink_bytes += invalidate.len() as u64 * 8;
+                    self.epoch = epoch;
+                    // Loop: re-run stage ① against the cleaned cache.
+                }
+            }
+        }
+        unreachable!(
+            "stale retries did not converge — updates racing the retry loop \
+             are impossible in a single-threaded simulation"
+        );
+    }
+}

@@ -1,0 +1,11 @@
+//! Workload generation (§6.1): synthetic datasets standing in for NE and
+//! RD, Zipf-distributed object sizes, the Poisson query process (think
+//! time), the range/kNN/join query mix, and the drifting-k schedule of the
+//! §6.4 adaptivity experiment.
+
+pub mod datasets;
+pub mod dist;
+pub mod querygen;
+
+pub use datasets::{ne_like, rd_like, uniform, DatasetKind};
+pub use querygen::{DriftingK, QueryGenerator, QueryMix, WorkloadConfig};

@@ -1,0 +1,303 @@
+//! Query generation (§6.1): "The event of client issuing queries is
+//! modeled as a Poisson process … the client waits for an exponentially
+//! distributed random period (called thinking time) … The query type is
+//! randomly selected from range, kNN, and join."
+
+use crate::dist::exponential;
+use pc_geom::{Point, Rect};
+use pc_rtree::proto::QuerySpec;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Relative weights of the three query types.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct QueryMix {
+    pub range: f64,
+    pub knn: f64,
+    pub join: f64,
+}
+
+impl QueryMix {
+    /// The paper's uniform mix.
+    pub fn paper() -> Self {
+        QueryMix {
+            range: 1.0,
+            knn: 1.0,
+            join: 1.0,
+        }
+    }
+
+    /// Range and kNN only (used when comparing against SEM on its home
+    /// turf, and by several tests).
+    pub fn no_join() -> Self {
+        QueryMix {
+            range: 1.0,
+            knn: 1.0,
+            join: 0.0,
+        }
+    }
+
+    pub fn knn_only() -> Self {
+        QueryMix {
+            range: 0.0,
+            knn: 1.0,
+            join: 0.0,
+        }
+    }
+}
+
+/// Workload parameters (Table 6.1).
+#[derive(Clone, Copy, Debug)]
+pub struct WorkloadConfig {
+    /// Mean think time in seconds (50 s).
+    pub think_mean_s: f64,
+    /// Average range-window area (1e-6 of the unit square).
+    pub area_wnd: f64,
+    /// Distance-join threshold (5e-5).
+    pub dist_join: f64,
+    /// kNN k drawn uniformly from 1..=k_max (5).
+    pub k_max: u32,
+    pub mix: QueryMix,
+}
+
+impl WorkloadConfig {
+    pub fn paper() -> Self {
+        WorkloadConfig {
+            think_mean_s: 50.0,
+            area_wnd: 1e-6,
+            dist_join: 5e-5,
+            k_max: 5,
+            mix: QueryMix::paper(),
+        }
+    }
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig::paper()
+    }
+}
+
+/// Draws think times and location-dependent queries.
+#[derive(Clone, Debug)]
+pub struct QueryGenerator {
+    cfg: WorkloadConfig,
+    rng: SmallRng,
+}
+
+impl QueryGenerator {
+    pub fn new(cfg: WorkloadConfig, seed: u64) -> Self {
+        QueryGenerator {
+            cfg,
+            rng: SmallRng::seed_from_u64(seed ^ 0x5147),
+        }
+    }
+
+    pub fn config(&self) -> &WorkloadConfig {
+        &self.cfg
+    }
+
+    /// Exponential think time before the next query.
+    pub fn think_time(&mut self) -> f64 {
+        exponential(&mut self.rng, self.cfg.think_mean_s)
+    }
+
+    /// The next query, issued from the client's current position.
+    pub fn next_query(&mut self, pos: Point) -> QuerySpec {
+        let total = self.cfg.mix.range + self.cfg.mix.knn + self.cfg.mix.join;
+        assert!(total > 0.0, "query mix must have positive weight");
+        let mut u: f64 = self.rng.random_range(0.0..total);
+        if u < self.cfg.mix.range {
+            // Window centered at the client, area ~ U[0.5, 1.5]·area_wnd.
+            let area = self.cfg.area_wnd * self.rng.random_range(0.5..1.5);
+            return QuerySpec::Range {
+                window: Rect::centered_square(pos, area.sqrt()),
+            };
+        }
+        u -= self.cfg.mix.range;
+        if u < self.cfg.mix.knn {
+            return QuerySpec::Knn {
+                center: pos,
+                k: self.rng.random_range(1..=self.cfg.k_max),
+            };
+        }
+        QuerySpec::Join {
+            dist: self.cfg.dist_join,
+        }
+    }
+}
+
+/// The §6.4 drifting-k schedule: "The average k decreases gradually from
+/// 10 to 1 for the first 5,000 queries, and then increases gradually up to
+/// 10 for the second 5,000 queries." Individual ks jitter ±1 around the
+/// schedule.
+#[derive(Clone, Debug)]
+pub struct DriftingK {
+    total: usize,
+    issued: usize,
+    k_hi: f64,
+    k_lo: f64,
+    rng: SmallRng,
+}
+
+impl DriftingK {
+    pub fn new(total: usize, k_hi: u32, k_lo: u32, seed: u64) -> Self {
+        assert!(total >= 2 && k_hi >= k_lo && k_lo >= 1);
+        DriftingK {
+            total,
+            issued: 0,
+            k_hi: k_hi as f64,
+            k_lo: k_lo as f64,
+            rng: SmallRng::seed_from_u64(seed ^ 0x444b),
+        }
+    }
+
+    /// The schedule's average k at query index `i`.
+    pub fn average_at(&self, i: usize) -> f64 {
+        let half = self.total as f64 / 2.0;
+        let i = i as f64;
+        if i < half {
+            self.k_hi - (self.k_hi - self.k_lo) * (i / half)
+        } else {
+            self.k_lo + (self.k_hi - self.k_lo) * ((i - half) / half)
+        }
+    }
+
+    /// The next kNN query at `pos`.
+    pub fn next_query(&mut self, pos: Point) -> QuerySpec {
+        let avg = self.average_at(self.issued);
+        self.issued += 1;
+        let jitter: i64 = self.rng.random_range(-1..=1);
+        let k = (avg.round() as i64 + jitter).clamp(1, 2 * self.k_hi as i64) as u32;
+        QuerySpec::Knn { center: pos, k }
+    }
+
+    pub fn issued(&self) -> usize {
+        self.issued
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn think_time_mean_matches_config() {
+        let mut g = QueryGenerator::new(WorkloadConfig::paper(), 1);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| g.think_time()).sum::<f64>() / n as f64;
+        assert!((mean - 50.0).abs() < 2.0, "mean think {mean}");
+    }
+
+    #[test]
+    fn mix_proportions_are_respected() {
+        let mut g = QueryGenerator::new(WorkloadConfig::paper(), 2);
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            match g.next_query(Point::new(0.5, 0.5)) {
+                QuerySpec::Range { .. } => counts[0] += 1,
+                QuerySpec::Knn { .. } => counts[1] += 1,
+                QuerySpec::Join { .. } => counts[2] += 1,
+            }
+        }
+        for c in counts {
+            let frac = c as f64 / 30_000.0;
+            assert!((frac - 1.0 / 3.0).abs() < 0.02, "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn knn_only_mix_yields_knn() {
+        let cfg = WorkloadConfig {
+            mix: QueryMix::knn_only(),
+            ..WorkloadConfig::paper()
+        };
+        let mut g = QueryGenerator::new(cfg, 3);
+        for _ in 0..100 {
+            assert!(matches!(
+                g.next_query(Point::ORIGIN),
+                QuerySpec::Knn { .. }
+            ));
+        }
+    }
+
+    #[test]
+    fn range_windows_are_centered_with_paper_area() {
+        let mut g = QueryGenerator::new(
+            WorkloadConfig {
+                mix: QueryMix {
+                    range: 1.0,
+                    knn: 0.0,
+                    join: 0.0,
+                },
+                ..WorkloadConfig::paper()
+            },
+            4,
+        );
+        let pos = Point::new(0.4, 0.6);
+        for _ in 0..200 {
+            let QuerySpec::Range { window } = g.next_query(pos) else {
+                panic!("expected range")
+            };
+            assert!(window.center().dist(&pos) < 1e-12);
+            let area = window.area();
+            assert!(
+                (0.5e-6 - 1e-12..=1.5e-6 + 1e-12).contains(&area),
+                "area {area}"
+            );
+        }
+    }
+
+    #[test]
+    fn knn_k_stays_in_bounds() {
+        let cfg = WorkloadConfig {
+            mix: QueryMix::knn_only(),
+            ..WorkloadConfig::paper()
+        };
+        let mut g = QueryGenerator::new(cfg, 5);
+        for _ in 0..500 {
+            let QuerySpec::Knn { k, .. } = g.next_query(Point::ORIGIN) else {
+                panic!()
+            };
+            assert!((1..=5).contains(&k));
+        }
+    }
+
+    #[test]
+    fn drifting_k_traces_a_v_shape() {
+        let d = DriftingK::new(10_000, 10, 1, 6);
+        assert!((d.average_at(0) - 10.0).abs() < 1e-9);
+        assert!((d.average_at(5_000) - 1.0).abs() < 0.01);
+        assert!((d.average_at(9_999) - 10.0).abs() < 0.01);
+        // Monotone down then up.
+        assert!(d.average_at(1000) > d.average_at(3000));
+        assert!(d.average_at(6000) < d.average_at(9000));
+    }
+
+    #[test]
+    fn drifting_k_samples_track_the_schedule() {
+        let mut d = DriftingK::new(10_000, 10, 1, 7);
+        let mut early = 0.0;
+        for _ in 0..500 {
+            let QuerySpec::Knn { k, .. } = d.next_query(Point::ORIGIN) else {
+                panic!()
+            };
+            early += k as f64;
+        }
+        early /= 500.0;
+        // Skip to the valley.
+        while d.issued() < 4_750 {
+            d.next_query(Point::ORIGIN);
+        }
+        let mut mid = 0.0;
+        for _ in 0..500 {
+            let QuerySpec::Knn { k, .. } = d.next_query(Point::ORIGIN) else {
+                panic!()
+            };
+            mid += k as f64;
+        }
+        mid /= 500.0;
+        assert!(early > 8.0, "early {early}");
+        assert!(mid < 3.0, "mid {mid}");
+    }
+}

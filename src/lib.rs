@@ -1,0 +1,47 @@
+//! # procache — Proactive Caching for Spatial Queries in Mobile Environments
+//!
+//! A full reproduction of Hu, Xu, Wong, Zheng, Lee & Lee (ICDE 2005) as a
+//! Rust workspace. This facade crate re-exports every sub-crate so
+//! examples, integration tests and downstream users can depend on a single
+//! package:
+//!
+//! * [`geom`] — points, rectangles, distances.
+//! * [`rtree`] — R*-tree, binary partition trees, the generic query engine
+//!   (paper Algorithm 1) and the wire protocol.
+//! * [`cache`] — the proactive cache: item hierarchy, GRD1/2/3, LRU, MRU
+//!   and FAR replacement (§5).
+//! * [`client`] — the client-side query processor (§3.3).
+//! * [`server`] — remainder-query resumption, compact / d⁺-level forms and
+//!   the adaptive controller (§4).
+//! * [`baselines`] — semantic caching (SEM) and page caching (PAG).
+//! * [`mobility`] — random-waypoint and directed mobility models (§6.1).
+//! * [`workload`] — synthetic datasets, query generation, Zipf sizes.
+//! * [`net`] — the 384 Kbps wireless channel model.
+//! * [`sim`] — the end-to-end simulator and metrics (§6).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use procache::rtree::{RTree, RTreeConfig, proto::QuerySpec};
+//! use procache::workload::datasets;
+//! use procache::geom::{Point, Rect};
+//!
+//! // A small NE-like dataset, its R*-tree, and one range query.
+//! let store = datasets::ne_like(500, 42);
+//! let objects: Vec<_> = store.iter().copied().collect();
+//! let tree = RTree::bulk_load(RTreeConfig::small(), &objects);
+//! let window = Rect::centered_square(Point::new(0.5, 0.5), 0.1);
+//! let hits = procache::rtree::query::range_query(&tree, &window);
+//! assert!(hits.len() <= 500);
+//! ```
+
+pub use pc_baselines as baselines;
+pub use pc_cache as cache;
+pub use pc_client as client;
+pub use pc_geom as geom;
+pub use pc_mobility as mobility;
+pub use pc_net as net;
+pub use pc_rtree as rtree;
+pub use pc_server as server;
+pub use pc_sim as sim;
+pub use pc_workload as workload;

@@ -1,0 +1,243 @@
+//! Edge cases and failure injection across the stack: degenerate caches,
+//! empty datasets, out-of-space queries, k beyond the dataset, and
+//! pathological capacities must all degrade gracefully, never corrupt
+//! state, and never produce wrong answers.
+
+use procache::baselines::{PageCache, SemanticCache};
+use procache::cache::{Catalog, ReplacementPolicy};
+use procache::client::Client;
+use procache::geom::{Point, Rect};
+use procache::rtree::proto::QuerySpec;
+use procache::rtree::{ObjectStore, RTreeConfig};
+use procache::server::{Server, ServerConfig};
+use procache::workload::datasets;
+
+fn server_with(n: usize) -> Server {
+    Server::new(
+        datasets::ne_like(n, 9),
+        RTreeConfig::small(),
+        ServerConfig::default(),
+    )
+}
+
+fn run_pipeline(client: &mut Client, server: &Server, spec: &QuerySpec) -> usize {
+    client.begin_query();
+    let local = client.run_local(spec);
+    let reply = local
+        .remainder
+        .as_ref()
+        .map(|rq| server.process_remainder(0, rq));
+    if let Some(r) = &reply {
+        client.absorb(r, Point::new(0.5, 0.5));
+    }
+    client.cache().validate().unwrap();
+    client.assemble(&local, reply.as_ref()).objects.len()
+}
+
+#[test]
+fn empty_dataset_serves_empty_answers() {
+    let server = Server::new(
+        ObjectStore::new(vec![]),
+        RTreeConfig::small(),
+        ServerConfig::default(),
+    );
+    let mut client = Client::new(
+        10_000,
+        ReplacementPolicy::Grd3,
+        Catalog::from_tree(server.tree()),
+    );
+    for spec in [
+        QuerySpec::Range { window: Rect::UNIT },
+        QuerySpec::Knn {
+            center: Point::new(0.5, 0.5),
+            k: 3,
+        },
+        QuerySpec::Join { dist: 0.1 },
+    ] {
+        assert_eq!(run_pipeline(&mut client, &server, &spec), 0);
+    }
+}
+
+#[test]
+fn k_zero_and_k_beyond_dataset() {
+    let server = server_with(30);
+    let mut client = Client::new(
+        1 << 20,
+        ReplacementPolicy::Grd3,
+        Catalog::from_tree(server.tree()),
+    );
+    let center = Point::new(0.5, 0.5);
+    assert_eq!(
+        run_pipeline(&mut client, &server, &QuerySpec::Knn { center, k: 0 }),
+        0
+    );
+    assert_eq!(
+        run_pipeline(&mut client, &server, &QuerySpec::Knn { center, k: 500 }),
+        30,
+        "k beyond the dataset returns everything"
+    );
+}
+
+#[test]
+fn window_outside_the_data_space() {
+    let server = server_with(100);
+    let mut client = Client::new(
+        1 << 20,
+        ReplacementPolicy::Grd3,
+        Catalog::from_tree(server.tree()),
+    );
+    let spec = QuerySpec::Range {
+        window: Rect::from_coords(2.0, 2.0, 3.0, 3.0),
+    };
+    assert_eq!(run_pipeline(&mut client, &server, &spec), 0);
+    // Nothing qualifies at the root: no remainder is even needed.
+    client.begin_query();
+    let local = client.run_local(&spec);
+    assert!(local.complete(), "non-qualifying root needs no server");
+}
+
+#[test]
+fn tiny_cache_still_answers_correctly() {
+    // A cache too small for even one object: every query effectively
+    // uncached, but answers stay correct and the cache stays valid.
+    let server = server_with(200);
+    let mut client = Client::new(
+        64, // bytes!
+        ReplacementPolicy::Grd3,
+        Catalog::from_tree(server.tree()),
+    );
+    for i in 0..10 {
+        let spec = QuerySpec::Knn {
+            center: Point::new(0.3 + i as f64 * 0.02, 0.4),
+            k: 2,
+        };
+        assert_eq!(run_pipeline(&mut client, &server, &spec), 2);
+        assert!(client.cache().used_bytes() <= 64);
+    }
+}
+
+#[test]
+fn zero_capacity_baselines_never_cache() {
+    let server = server_with(150);
+    let mut pag = PageCache::new(0);
+    let mut sem = SemanticCache::new(0);
+    let pos = Point::new(0.4, 0.4);
+    for _ in 0..5 {
+        let spec = QuerySpec::Range {
+            window: Rect::centered_square(pos, 0.2),
+        };
+        let a = pag.query(&server, &spec, 0.0);
+        let b = sem.query(&server, &spec, pos, 0.0);
+        assert_eq!(a.objects.len(), b.objects.len());
+        assert_eq!(pag.used_bytes(), 0);
+        assert_eq!(sem.used_bytes(), 0);
+        sem.validate().unwrap();
+    }
+}
+
+#[test]
+fn repeated_identical_queries_converge_to_fully_local() {
+    let server = server_with(400);
+    let mut client = Client::new(
+        1 << 22,
+        ReplacementPolicy::Grd3,
+        Catalog::from_tree(server.tree()),
+    );
+    let spec = QuerySpec::Range {
+        window: Rect::centered_square(Point::new(0.31, 0.36), 0.2),
+    };
+    run_pipeline(&mut client, &server, &spec);
+    for _ in 0..5 {
+        client.begin_query();
+        let local = client.run_local(&spec);
+        assert!(local.complete(), "steady state must be fully local");
+    }
+}
+
+#[test]
+fn degenerate_all_coincident_objects() {
+    // Every object at the same point: splits and BPTs face zero-area
+    // everything; queries must still be exact.
+    let objects: Vec<procache::rtree::SpatialObject> = (0..50)
+        .map(|i| procache::rtree::SpatialObject {
+            id: procache::rtree::ObjectId(i),
+            mbr: Rect::from_point(Point::new(0.5, 0.5)),
+            size_bytes: 100,
+        })
+        .collect();
+    let server = Server::new(
+        ObjectStore::new(objects),
+        RTreeConfig::small(),
+        ServerConfig::default(),
+    );
+    let mut client = Client::new(
+        1 << 20,
+        ReplacementPolicy::Grd3,
+        Catalog::from_tree(server.tree()),
+    );
+    assert_eq!(
+        run_pipeline(
+            &mut client,
+            &server,
+            &QuerySpec::Knn {
+                center: Point::new(0.1, 0.1),
+                k: 7
+            }
+        ),
+        7
+    );
+    assert_eq!(
+        run_pipeline(
+            &mut client,
+            &server,
+            &QuerySpec::Range {
+                window: Rect::centered_square(Point::new(0.5, 0.5), 0.01)
+            }
+        ),
+        50
+    );
+    // Self-join at distance 0: all pairs coincide.
+    client.begin_query();
+    let local = client.run_local(&QuerySpec::Join { dist: 0.0 });
+    let reply = local
+        .remainder
+        .as_ref()
+        .map(|rq| server.process_remainder(0, rq));
+    let a = client.assemble(&local, reply.as_ref());
+    assert_eq!(a.pairs.len(), 50 * 49 / 2);
+}
+
+#[test]
+fn single_object_dataset() {
+    let objects = vec![procache::rtree::SpatialObject {
+        id: procache::rtree::ObjectId(0),
+        mbr: Rect::from_point(Point::new(0.7, 0.2)),
+        size_bytes: 5000,
+    }];
+    let server = Server::new(
+        ObjectStore::new(objects),
+        RTreeConfig::small(),
+        ServerConfig::default(),
+    );
+    let mut client = Client::new(
+        1 << 20,
+        ReplacementPolicy::Grd3,
+        Catalog::from_tree(server.tree()),
+    );
+    assert_eq!(
+        run_pipeline(
+            &mut client,
+            &server,
+            &QuerySpec::Knn {
+                center: Point::ORIGIN,
+                k: 3
+            }
+        ),
+        1
+    );
+    assert_eq!(
+        run_pipeline(&mut client, &server, &QuerySpec::Join { dist: 1.0 }),
+        0,
+        "self-join of a single object has no pairs"
+    );
+}
