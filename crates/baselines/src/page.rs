@@ -212,11 +212,7 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(9);
         for _ in 0..30 {
             let p = Point::new(rng.random_range(0.0..1.0), rng.random_range(0.0..1.0));
-            pag.query(
-                &server,
-                &QuerySpec::Knn { center: p, k: 4 },
-                0.0,
-            );
+            pag.query(&server, &QuerySpec::Knn { center: p, k: 4 }, 0.0);
             assert!(pag.used_bytes() <= pag.capacity());
         }
     }

@@ -248,7 +248,12 @@ fn fragmentation_fallback_coalesces() {
         );
     }
     let w = Rect::from_coords(0.15, 0.15, 0.85, 0.85);
-    let a = sem.query(&server, &QuerySpec::Range { window: w }, Point::new(0.5, 0.5), 0.0);
+    let a = sem.query(
+        &server,
+        &QuerySpec::Range { window: w },
+        Point::new(0.5, 0.5),
+        0.0,
+    );
     sem.validate().unwrap();
     let mut got = a.objects.clone();
     got.sort_unstable();

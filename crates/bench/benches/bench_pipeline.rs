@@ -41,7 +41,11 @@ fn warm_specs() -> Vec<QuerySpec> {
 fn bench_proactive(c: &mut Criterion) {
     let server = make_server(50_000);
     c.bench_function("pipeline/proactive_warm_knn", |b| {
-        let mut client = Client::new(1 << 22, ReplacementPolicy::Grd3, Catalog::from_tree(server.tree()));
+        let mut client = Client::new(
+            1 << 22,
+            ReplacementPolicy::Grd3,
+            Catalog::from_tree(server.tree()),
+        );
         for spec in warm_specs() {
             client.begin_query();
             let local = client.run_local(&spec);

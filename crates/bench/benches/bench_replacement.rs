@@ -38,9 +38,8 @@ fn build_cache(policy: ReplacementPolicy, leaves: usize, seed: u64) -> Proactive
     let codes = balanced_codes(leaves);
     let mut oid = 0u32;
     let mut replies = Vec::new();
-    for li in 0..leaves {
+    for (li, &my_code) in codes.iter().enumerate() {
         let leaf = NodeId(1 + li as u32);
-        let my_code = codes[li];
         let x = (li as f64) / leaves as f64;
         root_cells.push(CellRecord {
             code: my_code,

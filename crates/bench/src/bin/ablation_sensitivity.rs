@@ -29,8 +29,8 @@ fn main() {
         let mut cfg = base;
         cfg.sensitivity = s;
         let r = sim::run(&cfg);
-        let ic = r.windows.iter().map(|w| w.index_to_cache).sum::<f64>()
-            / r.windows.len().max(1) as f64;
+        let ic =
+            r.windows.iter().map(|w| w.index_to_cache).sum::<f64>() / r.windows.len().max(1) as f64;
         t.row(vec![
             format!("{:.0}%", s * 100.0),
             format!("{:.3}", r.summary.fmr),
@@ -46,8 +46,8 @@ fn main() {
         let mut cfg = base;
         cfg.fmr_report_period = period;
         let r = sim::run(&cfg);
-        let ic = r.windows.iter().map(|w| w.index_to_cache).sum::<f64>()
-            / r.windows.len().max(1) as f64;
+        let ic =
+            r.windows.iter().map(|w| w.index_to_cache).sum::<f64>() / r.windows.len().max(1) as f64;
         t.row(vec![
             format!("{period}"),
             format!("{:.3}", r.summary.fmr),

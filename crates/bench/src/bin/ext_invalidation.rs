@@ -28,7 +28,10 @@ fn main() {
     let n_objects = opts.objects.unwrap_or(15_000);
     let n_queries = opts.queries.unwrap_or(1_500);
     println!("=== Extension: server updates & cache invalidation (§7) ===");
-    println!("objects={n_objects} queries={n_queries} seed={}\n", opts.seed);
+    println!(
+        "objects={n_objects} queries={n_queries} seed={}\n",
+        opts.seed
+    );
 
     let mut t = Table::new(vec![
         "upd/100q",
@@ -90,9 +93,9 @@ fn main() {
                         )),
                         size_bytes: 10_000,
                     },
-                    _ => Update::Delete(ObjectId(
-                        rng.random_range(0..n_live.min(n_objects as u32)),
-                    )),
+                    _ => {
+                        Update::Delete(ObjectId(rng.random_range(0..n_live.min(n_objects as u32))))
+                    }
                 };
                 server.apply_updates(&[update]);
             }
@@ -124,7 +127,11 @@ fn main() {
             } else {
                 0.0
             }),
-            fmt_s(if resp_n > 0 { resp_sum / resp_n as f64 } else { 0.0 }),
+            fmt_s(if resp_n > 0 {
+                resp_sum / resp_n as f64
+            } else {
+                0.0
+            }),
             fmt_pct(contacts as f64 / n_queries as f64),
         ]);
     }

@@ -37,7 +37,13 @@ fn main() {
     }
     let results = run_parallel(&configs);
 
-    let mut t = Table::new(vec!["policy", "RAN resp", "RAN hit_c", "DIR resp", "DIR hit_c"]);
+    let mut t = Table::new(vec![
+        "policy",
+        "RAN resp",
+        "RAN hit_c",
+        "DIR resp",
+        "DIR hit_c",
+    ]);
     for (pi, policy) in POLICIES.iter().enumerate() {
         let ran = &results[pi].summary;
         let dir = &results[4 + pi].summary;

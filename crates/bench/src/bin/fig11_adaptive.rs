@@ -27,7 +27,10 @@ fn main() {
     base.workload.mix = pc_workload::QueryMix::knn_only();
     // The paper plots every 500 of 10,000 queries: 20 points per series.
     base.window = (base.n_queries / 20).max(1);
-    banner("Figure 11: adaptive vs non-adaptive forms (kNN drift 10→1→10)", &base);
+    banner(
+        "Figure 11: adaptive vs non-adaptive forms (kNN drift 10→1→10)",
+        &base,
+    );
 
     let forms = [FormPolicy::Full, FormPolicy::Compact, FormPolicy::Adaptive];
     let configs: Vec<_> = forms
@@ -45,14 +48,12 @@ fn main() {
             "(a) false miss rate",
             &(|w: &pc_sim::WindowPoint| format!("{:.3}", w.fmr)) as &dyn Fn(_) -> String,
         ),
-        (
-            "(b) index / cache ratio",
-            &|w: &pc_sim::WindowPoint| format!("{:.3}", w.index_to_cache),
-        ),
-        (
-            "(c) response time (s)",
-            &|w: &pc_sim::WindowPoint| format!("{:.3}", w.avg_response_s),
-        ),
+        ("(b) index / cache ratio", &|w: &pc_sim::WindowPoint| {
+            format!("{:.3}", w.index_to_cache)
+        }),
+        ("(c) response time (s)", &|w: &pc_sim::WindowPoint| {
+            format!("{:.3}", w.avg_response_s)
+        }),
     ] {
         println!("\n{title}");
         let mut t = Table::new(vec!["query", "FPRO", "CPRO", "APRO"]);
@@ -74,7 +75,10 @@ fn main() {
         t.row(vec![
             f.name().to_string(),
             format!("{:.3}", r.summary.fmr),
-            format!("{:.3}", r.windows.last().map(|w| w.index_to_cache).unwrap_or(0.0)),
+            format!(
+                "{:.3}",
+                r.windows.last().map(|w| w.index_to_cache).unwrap_or(0.0)
+            ),
             pc_bench::fmt_s(r.summary.avg_response_s),
         ]);
     }

@@ -48,11 +48,7 @@ fn main() {
         let name = &labels[model_idx].1;
         let ran = &results[model_idx].summary;
         let dir = &results[3 + model_idx].summary;
-        t.row(vec![
-            name.clone(),
-            fmt_pct(ran.fmr),
-            fmt_pct(dir.fmr),
-        ]);
+        t.row(vec![name.clone(), fmt_pct(ran.fmr), fmt_pct(dir.fmr)]);
     }
     t.print();
 

@@ -12,7 +12,13 @@ fn main() {
     let opts = HarnessOpts::from_args();
     println!("=== Index and BPT sizes (§6.4) ===\n");
     let mut t = Table::new(vec![
-        "dataset", "objects", "nodes", "height", "R-tree", "BPTs", "BPT/index",
+        "dataset",
+        "objects",
+        "nodes",
+        "height",
+        "R-tree",
+        "BPTs",
+        "BPT/index",
     ]);
     for kind in [DatasetKind::Ne, DatasetKind::Rd] {
         let n = if opts.paper_scale {

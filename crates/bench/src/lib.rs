@@ -49,9 +49,7 @@ impl HarnessOpts {
                     opts.seed = args[i].parse().expect("--seed S");
                 }
                 "--help" | "-h" => {
-                    eprintln!(
-                        "options: --paper-scale | --objects N | --queries N | --seed S"
-                    );
+                    eprintln!("options: --paper-scale | --objects N | --queries N | --seed S");
                     std::process::exit(0);
                 }
                 other => panic!("unknown option {other}"),
@@ -125,7 +123,11 @@ pub fn run_parallel(configs: &[SimConfig]) -> Vec<pc_sim::SimResult> {
 /// Sets the three models of Fig. 6–9 on a base config.
 pub fn three_models(base: &SimConfig) -> Vec<(String, SimConfig)> {
     let mut out = Vec::new();
-    for model in [CacheModel::Page, CacheModel::Semantic, CacheModel::Proactive] {
+    for model in [
+        CacheModel::Page,
+        CacheModel::Semantic,
+        CacheModel::Proactive,
+    ] {
         let mut cfg = *base;
         cfg.model = model;
         out.push((cfg.model_label().to_string(), cfg));
@@ -239,8 +241,7 @@ mod tests {
         assert!(s.contains("model"));
         assert!(s.lines().count() == 4);
         // Columns align: every line equally wide.
-        let widths: std::collections::HashSet<usize> =
-            s.lines().skip(2).map(|l| l.len()).collect();
+        let widths: std::collections::HashSet<usize> = s.lines().skip(2).map(|l| l.len()).collect();
         assert_eq!(widths.len(), 1);
     }
 

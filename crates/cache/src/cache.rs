@@ -387,9 +387,13 @@ impl ProactiveCache {
 
         // Steps (3)-(5).
         while self.used > self.capacity {
-            let Some(Victim(prob, key)) = heap.pop() else { break };
+            let Some(Victim(prob, key)) = heap.pop() else {
+                break;
+            };
             // Lazy invalidation: skip stale entries.
-            let Some(item) = self.items.get(&key) else { continue };
+            let Some(item) = self.items.get(&key) else {
+                continue;
+            };
             if !item.is_hierarchy_leaf() || (item.prob(now) - prob).abs() > 1e-12 {
                 continue;
             }
@@ -662,10 +666,7 @@ impl ProactiveCache {
             return Err(format!("used {} != sum of sizes {sum}", self.used));
         }
         if self.used > self.capacity {
-            return Err(format!(
-                "over capacity: {} > {}",
-                self.used, self.capacity
-            ));
+            return Err(format!("over capacity: {} > {}", self.used, self.capacity));
         }
         for (o, n) in &self.object_parents {
             match self.node_view(*n) {

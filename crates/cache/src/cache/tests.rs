@@ -2,10 +2,10 @@
 //! accounting and victim selection per policy.
 
 use super::*;
+use pc_geom::Rect;
 use pc_rtree::bpt::Code;
 use pc_rtree::proto::{CellRecord, NodeShipment, ServerReply};
 use pc_rtree::SpatialObject;
-use pc_geom::Rect;
 
 fn cell(code: Code, x: f64, kind: CellKind) -> CellRecord {
     CellRecord {
@@ -102,10 +102,7 @@ fn absorb_builds_hierarchy_and_accounts_bytes() {
     let stats = c.stats();
     assert_eq!(stats.object_items, 3);
     assert_eq!(stats.node_items, 3);
-    assert_eq!(
-        stats.object_bytes,
-        3 * (OBJECT_HEADER_BYTES + 1000)
-    );
+    assert_eq!(stats.object_bytes, 3 * (OBJECT_HEADER_BYTES + 1000));
     assert_eq!(stats.used_bytes, c.used_bytes());
 }
 
@@ -201,7 +198,10 @@ fn grd3_evicts_lowest_prob_first() {
     c.capacity = c.used_bytes() - 1;
     c.enforce_capacity(10, Point::ORIGIN);
     c.validate().unwrap();
-    assert!(!c.contains_object(o(12)), "lowest-prob object must go first");
+    assert!(
+        !c.contains_object(o(12)),
+        "lowest-prob object must go first"
+    );
     assert!(c.contains_object(o(10)));
     assert!(c.contains_object(o(11)));
 }
@@ -231,7 +231,8 @@ fn node_with_cached_children_is_never_evicted_before_them() {
         for cap in [3000u64, 2000, 1000, 400, 100] {
             c.capacity = cap;
             c.enforce_capacity(5, Point::new(0.2, 0.2));
-            c.validate().unwrap_or_else(|e| panic!("{policy}@{cap}: {e}"));
+            c.validate()
+                .unwrap_or_else(|e| panic!("{policy}@{cap}: {e}"));
             // Invariant: any cached object's leaf view is still cached.
             for key in c.keys().collect::<Vec<_>>() {
                 if let ItemKey::Object(obj) = key {

@@ -3,9 +3,9 @@
 //! (full forms, compact forms, d⁺-level forms — the view cannot tell and
 //! does not care).
 
+use pc_geom::Rect;
 use pc_rtree::bpt::Code;
 use pc_rtree::proto::{CellKind, CellRecord};
-use pc_geom::Rect;
 use std::collections::HashMap;
 
 /// One known cell of the node's BPT.
@@ -223,7 +223,10 @@ mod tests {
             ],
         );
         assert!(v.cell(Code::ROOT).is_some(), "root synthesized");
-        assert!(v.cell(Code::ROOT.child(true)).is_some(), "cell 1 synthesized");
+        assert!(
+            v.cell(Code::ROOT.child(true)).is_some(),
+            "cell 1 synthesized"
+        );
         assert_eq!(v.frontier_len(), 3);
         assert_eq!(v.cell_count(), 5);
         // Synthesized internal MBRs are unions.

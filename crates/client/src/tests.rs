@@ -45,7 +45,12 @@ fn make_client(server: &Server, capacity: u64) -> Client {
 
 /// Runs one query through the full pipeline, checks it against the direct
 /// answer, and returns (saved objects, total results).
-fn pipeline_query(client: &mut Client, server: &Server, spec: &QuerySpec, pos: Point) -> (usize, usize) {
+fn pipeline_query(
+    client: &mut Client,
+    server: &Server,
+    spec: &QuerySpec,
+    pos: Point,
+) -> (usize, usize) {
     client.begin_query();
     let local = client.run_local(spec);
     let reply = local
@@ -146,10 +151,13 @@ fn repeated_query_completes_locally() {
     got.sort_unstable();
     assert_eq!(
         got,
-        naive::range_naive(server.store(), &match spec {
-            QuerySpec::Range { window } => window,
-            _ => unreachable!(),
-        })
+        naive::range_naive(
+            server.store(),
+            &match spec {
+                QuerySpec::Range { window } => window,
+                _ => unreachable!(),
+            }
+        )
     );
 }
 

@@ -178,8 +178,12 @@ impl Rect {
     /// qualifying object pairs iff `min_dist_rect ≤ threshold`.
     #[inline]
     pub fn min_dist_rect(&self, other: &Rect) -> Coord {
-        let dx = (self.min.x - other.max.x).max(0.0).max(other.min.x - self.max.x);
-        let dy = (self.min.y - other.max.y).max(0.0).max(other.min.y - self.max.y);
+        let dx = (self.min.x - other.max.x)
+            .max(0.0)
+            .max(other.min.x - self.max.x);
+        let dy = (self.min.y - other.max.y)
+            .max(0.0)
+            .max(other.min.y - self.max.y);
         (dx * dx + dy * dy).sqrt()
     }
 
@@ -199,11 +203,15 @@ impl Rect {
         }
         // Left strip.
         if ov.min.x > self.min.x {
-            out.push(Rect::from_coords(self.min.x, self.min.y, ov.min.x, self.max.y));
+            out.push(Rect::from_coords(
+                self.min.x, self.min.y, ov.min.x, self.max.y,
+            ));
         }
         // Right strip.
         if ov.max.x < self.max.x {
-            out.push(Rect::from_coords(ov.max.x, self.min.y, self.max.x, self.max.y));
+            out.push(Rect::from_coords(
+                ov.max.x, self.min.y, self.max.x, self.max.y,
+            ));
         }
         // Bottom strip (clamped to the overlap's x-extent).
         if ov.min.y > self.min.y {

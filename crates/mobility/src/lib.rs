@@ -155,8 +155,10 @@ impl MobileClient {
                 .random_range(1.0 - self.cfg.speed_jitter..=1.0 + self.cfg.speed_jitter);
         match self.model {
             MobilityModel::Ran => {
-                self.dest =
-                    Point::new(self.rng.random_range(0.0..1.0), self.rng.random_range(0.0..1.0));
+                self.dest = Point::new(
+                    self.rng.random_range(0.0..1.0),
+                    self.rng.random_range(0.0..1.0),
+                );
                 self.heading = (self.dest.y - self.pos.y).atan2(self.dest.x - self.pos.x);
             }
             MobilityModel::Dir => {
@@ -263,7 +265,10 @@ mod tests {
         };
         let ran = persistence(MobilityModel::Ran);
         let dir = persistence(MobilityModel::Dir);
-        assert!(dir > ran + 0.05, "DIR persistence {dir} not above RAN {ran}");
+        assert!(
+            dir > ran + 0.05,
+            "DIR persistence {dir} not above RAN {ran}"
+        );
     }
 
     #[test]

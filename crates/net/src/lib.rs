@@ -110,7 +110,8 @@ impl Ledger {
         if total == 0 {
             return ResponseStats::default();
         }
-        let mut weighted = 0.0; // Σ bytes · response time
+        // Σ bytes · response time.
+        let mut weighted = 0.0;
         // Saved bytes answer immediately (wireless dominates CPU, §4.1).
         let mut t = 0.0;
         if self.contacted_server {
@@ -123,10 +124,7 @@ impl Ledger {
             // Objects stream next; each answers when it completes. Headers
             // are charged proportionally as part of each object's slot.
             let n = self.transmitted.len() as u64;
-            let per_obj_header = self
-                .transmitted_header_bytes
-                .checked_div(n)
-                .unwrap_or(0);
+            let per_obj_header = self.transmitted_header_bytes.checked_div(n).unwrap_or(0);
             for &sz in &self.transmitted {
                 t += channel.transfer_s(sz as u64 + per_obj_header);
                 weighted += sz as f64 * t;
@@ -186,7 +184,11 @@ mod tests {
         let r = ledger.response(&ch);
         // Uplink: 0.1 s. Object 1 completes at 1.1 s, object 2 at 2.1 s.
         // Byte-weighted average = (1000·1.1 + 1000·2.1) / 2000 = 1.6 s.
-        assert!((r.avg_response_s - 1.6).abs() < 1e-9, "{}", r.avg_response_s);
+        assert!(
+            (r.avg_response_s - 1.6).abs() < 1e-9,
+            "{}",
+            r.avg_response_s
+        );
         assert!((r.completion_s - 2.1).abs() < 1e-9);
     }
 

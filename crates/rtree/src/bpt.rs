@@ -74,7 +74,8 @@ impl Code {
 
     /// Whether `self` is an ancestor of (or equal to) `other`.
     pub fn is_prefix_of(self, other: Code) -> bool {
-        self.len <= other.len && (other.bits & ((1u64 << self.len) as u32).wrapping_sub(1)) == self.bits
+        self.len <= other.len
+            && (other.bits & ((1u64 << self.len) as u32).wrapping_sub(1)) == self.bits
     }
 }
 
@@ -245,7 +246,11 @@ impl Bpt {
         for i in 0..code.depth() {
             match self.cells[idx].kind {
                 BptCellKind::Internal { left, right } => {
-                    idx = if code.bit(i) { right as usize } else { left as usize };
+                    idx = if code.bit(i) {
+                        right as usize
+                    } else {
+                        left as usize
+                    };
                 }
                 BptCellKind::Leaf { .. } => return None,
             }
@@ -309,8 +314,16 @@ fn midpoint_split(rects: &[Rect]) -> (Vec<usize>, Vec<usize>) {
     let horizontal = bbox.width() >= bbox.height();
     let mut order: Vec<usize> = (0..rects.len()).collect();
     order.sort_by(|&a, &b| {
-        let ka = if horizontal { rects[a].center().x } else { rects[a].center().y };
-        let kb = if horizontal { rects[b].center().x } else { rects[b].center().y };
+        let ka = if horizontal {
+            rects[a].center().x
+        } else {
+            rects[a].center().y
+        };
+        let kb = if horizontal {
+            rects[b].center().x
+        } else {
+            rects[b].center().y
+        };
         ka.partial_cmp(&kb).unwrap()
     });
     let cut = rects.len() / 2;

@@ -18,9 +18,7 @@
 //! blocked and missing leaf entries; and the remainder heap is pruned after
 //! the current k-th leaf entry (Example 3.1).
 
-use crate::proto::{
-    pair_key, CellRef, HeapEntry, QuerySpec, RemainderQuery, Side,
-};
+use crate::proto::{pair_key, CellRef, HeapEntry, QuerySpec, RemainderQuery, Side};
 use crate::{NodeId, ObjectId};
 use pc_geom::Rect;
 use std::collections::{BinaryHeap, HashMap, HashSet};
@@ -137,7 +135,11 @@ impl AccessLog {
 
 impl Tracer for AccessLog {
     fn cell_touched(&mut self, cell: CellRef) {
-        self.nodes.entry(cell.node).or_default().touched.insert(cell.code);
+        self.nodes
+            .entry(cell.node)
+            .or_default()
+            .touched
+            .insert(cell.code);
     }
 
     fn cell_expanded(&mut self, cell: CellRef, internal: bool) {
@@ -215,11 +217,7 @@ pub fn execute<V: IndexView, T: Tracer>(view: &V, spec: &QuerySpec, tracer: &mut
 
 /// Resumes a remainder query from its shipped heap (server side of §3.2
 /// stage 2; also usable by a client that re-runs after a cache refill).
-pub fn resume<V: IndexView, T: Tracer>(
-    view: &V,
-    rq: &RemainderQuery,
-    tracer: &mut T,
-) -> Outcome {
+pub fn resume<V: IndexView, T: Tracer>(view: &V, rq: &RemainderQuery, tracer: &mut T) -> Outcome {
     if rq.spec.is_join() {
         run_join(view, &rq.spec, Some(rq), tracer)
     } else {
@@ -318,7 +316,10 @@ fn run_single<V: IndexView, T: Tracer>(
                             continue;
                         }
                         let side = match c.target {
-                            Target::Cell(cc) => Side::Cell { cell: cc, mbr: c.mbr },
+                            Target::Cell(cc) => Side::Cell {
+                                cell: cc,
+                                mbr: c.mbr,
+                            },
                             Target::Object { id, cached } => Side::Obj {
                                 id,
                                 mbr: c.mbr,
@@ -482,14 +483,10 @@ fn run_join<V: IndexView, T: Tracer>(
         match (a, b) {
             (
                 Side::Obj {
-                    id: ia,
-                    cached: ca,
-                    ..
+                    id: ia, cached: ca, ..
                 },
                 Side::Obj {
-                    id: ib,
-                    cached: cb,
-                    ..
+                    id: ib, cached: cb, ..
                 },
             ) => {
                 if ia == ib {
@@ -561,10 +558,7 @@ fn run_join<V: IndexView, T: Tracer>(
     });
 
     Outcome {
-        results: obj_order
-            .iter()
-            .map(|id| (*id, obj_flags[id]))
-            .collect(),
+        results: obj_order.iter().map(|id| (*id, obj_flags[id])).collect(),
         result_pairs,
         remainder,
         expansions,

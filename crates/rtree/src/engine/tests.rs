@@ -167,11 +167,7 @@ fn knn_results_pop_in_distance_order() {
     let (store, tree, bpts) = dataset(200, 13);
     let view = FullView::new(&tree, &bpts);
     let p = Point::new(0.4, 0.6);
-    let out = execute(
-        &view,
-        &QuerySpec::Knn { center: p, k: 20 },
-        &mut NoopTracer,
-    );
+    let out = execute(&view, &QuerySpec::Knn { center: p, k: 20 }, &mut NoopTracer);
     let dists: Vec<f64> = out
         .results
         .iter()
@@ -260,7 +256,10 @@ fn two_stage_knn_equals_direct() {
         let want = naive::knn_naive(&store, &p, k as usize);
         assert_eq!(ids.len(), want.len(), "round {round}");
         // Compare distance multisets (ties may swap ids between stages).
-        let mut got_d: Vec<f64> = ids.iter().map(|id| store.get(*id).mbr.min_dist(&p)).collect();
+        let mut got_d: Vec<f64> = ids
+            .iter()
+            .map(|id| store.get(*id).mbr.min_dist(&p))
+            .collect();
         got_d.sort_by(f64::total_cmp);
         for (g, (_, wd)) in got_d.iter().zip(&want) {
             assert!((g - wd).abs() < 1e-12, "round {round}");
@@ -295,7 +294,9 @@ fn cold_cache_sends_everything_to_server() {
     let spec = QuerySpec::Range { window: w };
     let local = execute(&partial, &spec, &mut NoopTracer);
     assert!(local.results.is_empty());
-    let rq = local.remainder.expect("cold cache must produce a remainder");
+    let rq = local
+        .remainder
+        .expect("cold cache must produce a remainder");
     assert_eq!(rq.heap.len(), 1, "only the root entry");
     let remote = resume(&full, &rq, &mut NoopTracer);
     let mut ids: Vec<ObjectId> = remote.results.iter().map(|(i, _)| *i).collect();
@@ -329,8 +330,7 @@ fn knn_blocked_objects_are_confirmed_without_retransmission() {
     let mut rng = SmallRng::seed_from_u64(29);
     let mut confirmed_without_bytes = 0usize;
     for _ in 0..40 {
-        let mut visible: std::collections::HashSet<NodeId> =
-            tree.node_ids().into_iter().collect();
+        let mut visible: std::collections::HashSet<NodeId> = tree.node_ids().into_iter().collect();
         let ids = tree.node_ids();
         let victim = ids[rng.random_range(1..ids.len())];
         visible.remove(&victim);
@@ -347,7 +347,9 @@ fn knn_blocked_objects_are_confirmed_without_retransmission() {
                 .heap
                 .iter()
                 .filter_map(|(_, e)| match e {
-                    HeapEntry::Single(Side::Obj { id, cached: true, .. }) => Some(*id),
+                    HeapEntry::Single(Side::Obj {
+                        id, cached: true, ..
+                    }) => Some(*id),
                     _ => None,
                 })
                 .collect();

@@ -13,7 +13,13 @@ use proptest::prelude::*;
 
 fn arb_objects(max: usize) -> impl Strategy<Value = Vec<SpatialObject>> {
     prop::collection::vec(
-        (0.0f64..1.0, 0.0f64..1.0, 0.0f64..0.03, 0.0f64..0.03, 1u32..5000),
+        (
+            0.0f64..1.0,
+            0.0f64..1.0,
+            0.0f64..0.03,
+            0.0f64..0.03,
+            1u32..5000,
+        ),
         2..max,
     )
     .prop_map(|raw| {
@@ -63,11 +69,7 @@ impl IndexView for MaskView<'_> {
                         target: match c.target {
                             Target::Object { id, .. } => Target::Object {
                                 id,
-                                cached: self
-                                    .obj_mask
-                                    .get(id.0 as usize)
-                                    .copied()
-                                    .unwrap_or(false),
+                                cached: self.obj_mask.get(id.0 as usize).copied().unwrap_or(false),
                             },
                             t => t,
                         },

@@ -112,7 +112,10 @@ impl std::fmt::Display for CellRef {
 /// One side of a traversal frontier: a cell (node subset) or an object.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum Side {
-    Cell { cell: CellRef, mbr: Rect },
+    Cell {
+        cell: CellRef,
+        mbr: Rect,
+    },
     Obj {
         id: ObjectId,
         mbr: Rect,

@@ -119,7 +119,9 @@ impl RTree {
             let items: Vec<(Rect, ChildRef)> = level_nodes
                 .iter()
                 .map(|&id| {
-                    let mbr = tree.nodes[id.0 as usize].mbr().expect("packed node non-empty");
+                    let mbr = tree.nodes[id.0 as usize]
+                        .mbr()
+                        .expect("packed node non-empty");
                     (mbr, ChildRef::Node(id))
                 })
                 .collect();
@@ -142,12 +144,7 @@ impl RTree {
         let slab_count = (page_count as f64).sqrt().ceil() as usize;
         let slab_size = n.div_ceil(slab_count);
 
-        items.sort_by(|a, b| {
-            a.0.center()
-                .x
-                .partial_cmp(&b.0.center().x)
-                .unwrap()
-        });
+        items.sort_by(|a, b| a.0.center().x.partial_cmp(&b.0.center().x).unwrap());
 
         let mut out = Vec::with_capacity(page_count);
         for slab in items.chunks_mut(slab_size.max(1)) {
@@ -342,7 +339,12 @@ impl RTree {
             });
             idx.truncate(CANDIDATES);
         }
-        let mut best = (f64::INFINITY, f64::INFINITY, f64::INFINITY, NodeId(u32::MAX));
+        let mut best = (
+            f64::INFINITY,
+            f64::INFINITY,
+            f64::INFINITY,
+            NodeId(u32::MAX),
+        );
         for &i in &idx {
             let cand = &node.entries[i];
             let grown = cand.mbr.union(mbr);
@@ -392,7 +394,11 @@ impl RTree {
     /// Removes the `reinsert_count` entries farthest from the node's center
     /// and re-inserts them from the top (R* forced re-insert, far-first).
     fn forced_reinsert(&mut self, id: NodeId, reinserted: &mut Vec<bool>) {
-        let center = self.node(id).mbr().expect("overflowing node non-empty").center();
+        let center = self
+            .node(id)
+            .mbr()
+            .expect("overflowing node non-empty")
+            .center();
         let node = &mut self.nodes[id.0 as usize];
         node.entries.sort_by(|a, b| {
             // Descending distance: farthest first at the front.
@@ -402,7 +408,10 @@ impl RTree {
                 .partial_cmp(&a.mbr.center().dist(&center))
                 .unwrap()
         });
-        let count = self.cfg.reinsert_count.min(node.entries.len() - self.cfg.min_entries);
+        let count = self
+            .cfg
+            .reinsert_count
+            .min(node.entries.len() - self.cfg.min_entries);
         let removed: Vec<Entry> = node.entries.drain(..count).collect();
         let level = node.level;
         self.mark_dirty(id);
@@ -717,7 +726,11 @@ mod tests {
         let tree = RTree::bulk_load(RTreeConfig::small(), &objs);
         // 512 objects, fan 8 => 64 leaves => 8 level-1 => 1 root: height 4... but
         // STR may produce slightly fewer tiles; assert a sane band instead.
-        assert!(tree.height() >= 3 && tree.height() <= 5, "height {}", tree.height());
+        assert!(
+            tree.height() >= 3 && tree.height() <= 5,
+            "height {}",
+            tree.height()
+        );
     }
 
     #[test]
@@ -760,7 +773,10 @@ mod tests {
         assert!(s.leaf_count >= 100 / 8);
         assert!(s.node_count > s.leaf_count);
         assert_eq!(s.height, tree.height());
-        assert_eq!(s.index_bytes, s.node_count as u64 * crate::proto::PAGE_BYTES);
+        assert_eq!(
+            s.index_bytes,
+            s.node_count as u64 * crate::proto::PAGE_BYTES
+        );
     }
 
     #[test]
@@ -835,7 +851,10 @@ mod tests {
             tree.delete(o.id, &o.mbr);
         }
         tree.validate(10, false).unwrap();
-        assert!(tree.height() < h0, "height should shrink after mass deletion");
+        assert!(
+            tree.height() < h0,
+            "height should shrink after mass deletion"
+        );
     }
 
     #[test]

@@ -139,10 +139,7 @@ mod tests {
         for s in &ships {
             let n = tree.node(s.node);
             assert_eq!(s.cells.len(), n.entries.len(), "{} full form", s.node);
-            assert!(s
-                .cells
-                .iter()
-                .all(|c| !matches!(c.kind, CellKind::Super)));
+            assert!(s.cells.iter().all(|c| !matches!(c.kind, CellKind::Super)));
         }
     }
 

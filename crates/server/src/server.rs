@@ -268,10 +268,7 @@ mod tests {
         // All pair members must be transmitted exactly once.
         let mut ids: Vec<ObjectId> = reply.objects.iter().map(|o| o.id).collect();
         ids.sort_unstable();
-        let mut expect: Vec<ObjectId> = pairs
-            .iter()
-            .flat_map(|&(a, b)| [a, b])
-            .collect();
+        let mut expect: Vec<ObjectId> = pairs.iter().flat_map(|&(a, b)| [a, b]).collect();
         expect.sort_unstable();
         expect.dedup();
         assert_eq!(ids, expect);

@@ -47,10 +47,7 @@ pub enum VersionedReply {
     },
     /// The remainder referenced changed nodes: the client must invalidate
     /// and re-run stage ① against its cleaned cache.
-    Stale {
-        invalidate: Vec<NodeId>,
-        epoch: u64,
-    },
+    Stale { invalidate: Vec<NodeId>, epoch: u64 },
 }
 
 /// Update/invalidation state bolted onto a [`Server`].
@@ -224,8 +221,15 @@ mod tests {
             size_bytes: 123,
         }]);
         let outcome = server.direct(&QuerySpec::Range { window: w });
-        assert_eq!(outcome.results.len(), 1, "was {before}, all deleted, one added");
-        server.tree().validate(server.tree().object_count(), false).unwrap();
+        assert_eq!(
+            outcome.results.len(),
+            1,
+            "was {before}, all deleted, one added"
+        );
+        server
+            .tree()
+            .validate(server.tree().object_count(), false)
+            .unwrap();
     }
 
     #[test]
@@ -276,7 +280,9 @@ mod tests {
         }
         // With the current epoch it goes through.
         match server.process_remainder_versioned(0, &rq, 1) {
-            VersionedReply::Fresh { reply, invalidate, .. } => {
+            VersionedReply::Fresh {
+                reply, invalidate, ..
+            } => {
                 assert!(invalidate.is_empty());
                 assert!(!reply.index.is_empty());
             }

@@ -25,9 +25,7 @@
 use pc_cache::{CacheView, Catalog, ItemData, ItemKey, ProactiveCache};
 use pc_net::Channel;
 use pc_rtree::engine::{resume, AccessLog};
-use pc_rtree::proto::{
-    HeapEntry, NodeShipment, RemainderQuery, ServerReply, Side,
-};
+use pc_rtree::proto::{HeapEntry, NodeShipment, RemainderQuery, ServerReply, Side};
 use pc_rtree::{NodeId, ObjectId};
 use std::collections::{HashMap, HashSet};
 
@@ -167,8 +165,7 @@ fn restore_entry(
 ) {
     let restore = |s: &mut Side| {
         if let Side::Obj { id, cached, .. } = s {
-            *cached = origin_holds.get(id).copied().unwrap_or(false)
-                || transferred.contains(id);
+            *cached = origin_holds.get(id).copied().unwrap_or(false) || transferred.contains(id);
         }
     };
     match e {
@@ -246,8 +243,7 @@ pub fn query_with_peers(
     let mut seen: HashSet<ObjectId> = objects.iter().copied().collect();
 
     // Byte-weighted response bookkeeping: saved bytes answer at t = 0.
-    let obj_bytes =
-        |id: ObjectId| server.store().get(id).size_bytes as u64;
+    let obj_bytes = |id: ObjectId| server.store().get(id).size_bytes as u64;
     let mut weighted = 0.0;
     let mut total_result_bytes: u64 = objects.iter().map(|&o| obj_bytes(o)).sum();
     let mut t = 0.0;

@@ -43,7 +43,15 @@ fn run(
 ) -> CollabOutcome {
     let (l, r) = channels();
     query_with_peers(
-        clients, positions, origin, 1.0, 3, server, spec, (&l, &r), 0.0,
+        clients,
+        positions,
+        origin,
+        1.0,
+        3,
+        server,
+        spec,
+        (&l, &r),
+        0.0,
     )
 }
 
@@ -69,12 +77,17 @@ fn warm_peer_fully_serves_a_cold_neighbor() {
     assert!(out.peer_served > 0);
     let mut got = out.objects.clone();
     got.sort_unstable();
-    let QuerySpec::Range { window } = spec else { unreachable!() };
+    let QuerySpec::Range { window } = spec else {
+        unreachable!()
+    };
     assert_eq!(got, naive::range_naive(server.store(), &window));
     // And the payloads were transferred: client 0 can answer locally now.
     fleet[0].begin_query();
     let local = fleet[0].run_local(&spec);
-    assert!(local.complete(), "origin cache must have been warmed by peer");
+    assert!(
+        local.complete(),
+        "origin cache must have been warmed by peer"
+    );
 }
 
 #[test]
@@ -106,7 +119,11 @@ fn random_fleet_answers_always_match_direct() {
             QuerySpec::Range { window } => {
                 let mut got = out.objects.clone();
                 got.sort_unstable();
-                assert_eq!(got, naive::range_naive(server.store(), window), "round {round}");
+                assert_eq!(
+                    got,
+                    naive::range_naive(server.store(), window),
+                    "round {round}"
+                );
             }
             QuerySpec::Knn { center, k } => {
                 let want = naive::knn_naive(server.store(), center, *k as usize);
@@ -122,7 +139,11 @@ fn random_fleet_answers_always_match_direct() {
                 }
             }
             QuerySpec::Join { dist } => {
-                assert_eq!(out.pairs, naive::join_naive(server.store(), *dist), "round {round}");
+                assert_eq!(
+                    out.pairs,
+                    naive::join_naive(server.store(), *dist),
+                    "round {round}"
+                );
             }
         }
     }
@@ -138,9 +159,20 @@ fn out_of_range_peers_are_not_consulted() {
     };
     let (l, r) = channels();
     let out = query_with_peers(
-        &mut fleet, &positions, 0, 0.1, 3, &server, &spec, (&l, &r), 0.0,
+        &mut fleet,
+        &positions,
+        0,
+        0.1,
+        3,
+        &server,
+        &spec,
+        (&l, &r),
+        0.0,
     );
-    assert_eq!(out.peers_asked, 0, "peer at distance ~1 is out of range 0.1");
+    assert_eq!(
+        out.peers_asked, 0,
+        "peer at distance ~1 is out of range 0.1"
+    );
     assert!(out.server_contacted);
 }
 
@@ -173,7 +205,9 @@ fn peer_chain_shrinks_the_remainder_monotonically() {
     assert!(out.peer_served > 0, "peers must contribute results");
     let mut got = out.objects.clone();
     got.sort_unstable();
-    let QuerySpec::Range { window } = big else { unreachable!() };
+    let QuerySpec::Range { window } = big else {
+        unreachable!()
+    };
     assert_eq!(got, naive::range_naive(server.store(), &window));
 }
 

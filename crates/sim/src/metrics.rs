@@ -117,7 +117,11 @@ impl Summary {
         s.avg_server_cpu_ms /= nf;
         s.avg_client_expansions /= nf;
         s.contact_rate /= nf;
-        s.avg_response_s = if resp_n > 0 { resp_sum / resp_n as f64 } else { 0.0 };
+        s.avg_response_s = if resp_n > 0 {
+            resp_sum / resp_n as f64
+        } else {
+            0.0
+        };
         s.hit_c = ratio(saved_bytes, result_bytes);
         s.hit_b = ratio(cached_bytes, result_bytes);
         s.fmr = ratio(false_misses, cached_objs);

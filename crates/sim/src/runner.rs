@@ -43,11 +43,7 @@ pub trait ModelRunner {
 }
 
 /// Builds the runner for a configuration.
-pub(crate) fn make_runner(
-    cfg: &SimConfig,
-    server: &Server,
-    capacity: u64,
-) -> Box<dyn ModelRunner> {
+pub(crate) fn make_runner(cfg: &SimConfig, server: &Server, capacity: u64) -> Box<dyn ModelRunner> {
     match cfg.model {
         CacheModel::Page => Box::new(PageRunner {
             cache: PageCache::new(capacity),
@@ -202,8 +198,7 @@ impl ModelRunner for ProactiveRunner {
                     .sum();
                 ledger.confirm_wire_bytes = reply.confirmed.len() as u64 * CONFIRM_BYTES;
                 ledger.transmitted = reply.objects.iter().map(|o| o.size_bytes).collect();
-                ledger.transmitted_header_bytes =
-                    reply.objects.len() as u64 * OBJECT_HEADER_BYTES;
+                ledger.transmitted_header_bytes = reply.objects.len() as u64 * OBJECT_HEADER_BYTES;
                 ledger.extra_downlink_bytes =
                     reply.index_bytes() + reply.pairs.len() as u64 * PAIR_BYTES;
                 cached_results.extend(reply.confirmed.iter().copied());

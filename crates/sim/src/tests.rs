@@ -15,7 +15,11 @@ fn small(model: CacheModel) -> SimConfig {
 
 #[test]
 fn all_models_run_verified() {
-    for model in [CacheModel::Page, CacheModel::Semantic, CacheModel::Proactive] {
+    for model in [
+        CacheModel::Page,
+        CacheModel::Semantic,
+        CacheModel::Proactive,
+    ] {
         let cfg = small(model);
         let r = run(&cfg);
         assert_eq!(r.records.len(), cfg.n_queries, "{model}");
@@ -30,7 +34,11 @@ fn all_proactive_forms_run_verified() {
         cfg.form = form;
         let r = run(&cfg);
         assert_eq!(r.records.len(), cfg.n_queries, "{}", form.name());
-        assert!(r.summary.hit_c > 0.0, "{} should serve something", form.name());
+        assert!(
+            r.summary.hit_c > 0.0,
+            "{} should serve something",
+            form.name()
+        );
     }
 }
 
@@ -38,7 +46,10 @@ fn all_proactive_forms_run_verified() {
 fn page_cache_has_zero_hit_rate_and_full_fmr() {
     let r = run(&small(CacheModel::Page));
     assert_eq!(r.summary.hit_c, 0.0, "PAG never answers locally");
-    assert!(r.summary.hit_b > 0.0, "but its cache does hold result bytes");
+    assert!(
+        r.summary.hit_b > 0.0,
+        "but its cache does hold result bytes"
+    );
     assert!(
         (r.summary.fmr - 1.0).abs() < 1e-12,
         "every cached result is a false miss for PAG (fmr {})",
@@ -112,10 +123,7 @@ fn drifting_k_mode_runs_knn_only() {
     cfg.drifting_k = Some((8, 1));
     cfg.n_queries = 200;
     let r = run(&cfg);
-    assert!(r
-        .records
-        .iter()
-        .all(|rec| rec.kind == QueryKind::Knn));
+    assert!(r.records.iter().all(|rec| rec.kind == QueryKind::Knn));
 }
 
 #[test]

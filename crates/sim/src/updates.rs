@@ -94,8 +94,7 @@ impl UpdatingClient {
                         .iter()
                         .map(|&id| server.store().get(id).size_bytes as u64)
                         .sum::<u64>();
-                    out.ledger.confirm_wire_bytes +=
-                        reply.confirmed.len() as u64 * CONFIRM_BYTES;
+                    out.ledger.confirm_wire_bytes += reply.confirmed.len() as u64 * CONFIRM_BYTES;
                     out.ledger
                         .transmitted
                         .extend(reply.objects.iter().map(|o| o.size_bytes));

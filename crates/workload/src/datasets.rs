@@ -186,8 +186,8 @@ pub fn rd_like(n: usize, seed: u64) -> ObjectStore {
     // plus diagonal highways.
     #[derive(Clone, Copy)]
     enum Road {
-        H(f64),        // y = const
-        V(f64),        // x = const
+        H(f64),          // y = const
+        V(f64),          // x = const
         Diag(f64, bool), // y = ±x + offset
     }
     let mut roads = Vec::new();
@@ -199,7 +199,10 @@ pub fn rd_like(n: usize, seed: u64) -> ObjectStore {
         roads.push(Road::V(at));
     }
     for _ in 0..6 {
-        roads.push(Road::Diag(rng.random_range(-0.5..0.5), rng.random_bool(0.5)));
+        roads.push(Road::Diag(
+            rng.random_range(-0.5..0.5),
+            rng.random_bool(0.5),
+        ));
     }
 
     // Segments sit at regular slots along their road with a small jitter,
@@ -213,8 +216,7 @@ pub fn rd_like(n: usize, seed: u64) -> ObjectStore {
             let road = roads[i % roads.len()];
             let slot = (i / roads.len()) % per_road;
             let spacing = 1.0 / per_road as f64;
-            let along: f64 =
-                (slot as f64 + rng.random_range(0.1..0.9)) * spacing;
+            let along: f64 = (slot as f64 + rng.random_range(0.1..0.9)) * spacing;
             let len: f64 = rng.random_range(0.002f64..0.010).min(spacing * 0.8);
             let width: f64 = rng.random_range(0.0001..0.0005);
             let mbr = match road {

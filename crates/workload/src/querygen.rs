@@ -214,10 +214,7 @@ mod tests {
         };
         let mut g = QueryGenerator::new(cfg, 3);
         for _ in 0..100 {
-            assert!(matches!(
-                g.next_query(Point::ORIGIN),
-                QuerySpec::Knn { .. }
-            ));
+            assert!(matches!(g.next_query(Point::ORIGIN), QuerySpec::Knn { .. }));
         }
     }
 

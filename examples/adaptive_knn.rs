@@ -47,7 +47,10 @@ fn main() {
     for i in 0..points {
         let cell = |r: &sim::SimResult| {
             let w = &r.windows[i];
-            format!("{:>9.3} {:>5.2} {:>5.2}s", w.fmr, w.index_to_cache, w.avg_response_s)
+            format!(
+                "{:>9.3} {:>5.2} {:>5.2}s",
+                w.fmr, w.index_to_cache, w.avg_response_s
+            )
         };
         println!(
             "{:>7} | {} | {} | {}",

@@ -32,7 +32,11 @@ fn main() {
         "{:>6}  {:>10} {:>10} {:>7} {:>7} {:>9} {:>9}",
         "model", "uplink", "downlink", "hit_c", "hit_b", "resp", "cpu"
     );
-    for model in [CacheModel::Page, CacheModel::Semantic, CacheModel::Proactive] {
+    for model in [
+        CacheModel::Page,
+        CacheModel::Semantic,
+        CacheModel::Proactive,
+    ] {
         let mut cfg = base;
         cfg.model = model;
         let r = sim::run(&cfg);

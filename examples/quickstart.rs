@@ -44,8 +44,9 @@ fn main() {
     let channel = Channel::paper();
 
     // 4. Issue the same range query twice: the first run misses cold and
-    //    pays the wireless round trip; the second answers locally.
-    let window = Rect::centered_square(here, 0.02);
+    //    pays the wireless round trip; the second answers mostly from
+    //    cache and only fetches the few objects replacement evicted.
+    let window = Rect::centered_square(here, 0.05);
     let spec = QuerySpec::Range { window };
     for round in 1..=2 {
         client.begin_query();

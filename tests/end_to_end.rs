@@ -38,9 +38,7 @@ fn pipeline(
 fn check_dataset(kind: &str, server: &Server, seed: u64) {
     for form in [FormPolicy::Full, FormPolicy::Compact, FormPolicy::Adaptive] {
         // Rebuild the server with this form (same dataset/seed).
-        let store = procache::rtree::ObjectStore::new(
-            server.store().iter().copied().collect(),
-        );
+        let store = procache::rtree::ObjectStore::new(server.store().iter().copied().collect());
         let server = Server::new(
             store,
             RTreeConfig::small(),
@@ -71,9 +69,10 @@ fn check_dataset(kind: &str, server: &Server, seed: u64) {
                     },
                 };
                 let (objs, pairs) = pipeline(&mut client, &server, &spec, pos);
-                client.cache().validate().unwrap_or_else(|e| {
-                    panic!("{kind}/{form:?}/{policy}: cache corrupt: {e}")
-                });
+                client
+                    .cache()
+                    .validate()
+                    .unwrap_or_else(|e| panic!("{kind}/{form:?}/{policy}: cache corrupt: {e}"));
                 match &spec {
                     QuerySpec::Range { window } => {
                         assert_eq!(
@@ -152,14 +151,15 @@ fn paper_fanout_tree_pipeline_is_exact() {
                 window: Rect::centered_square(pos, 0.05),
             }
         } else {
-            QuerySpec::Knn {
-                center: pos,
-                k: 5,
-            }
+            QuerySpec::Knn { center: pos, k: 5 }
         };
         let (objs, _) = pipeline(&mut client, &server, &spec, pos);
         if let QuerySpec::Range { window } = &spec {
-            assert_eq!(objs, naive::range_naive(server.store(), window), "round {round}");
+            assert_eq!(
+                objs,
+                naive::range_naive(server.store(), window),
+                "round {round}"
+            );
         }
         client.cache().validate().unwrap();
     }

@@ -1,0 +1,45 @@
+//! Smoke-runs every example via `cargo run --example` so the examples can
+//! never silently rot: they are real documentation and must keep working
+//! end to end.
+
+use std::process::Command;
+
+fn run_example(name: &str) {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let output = Command::new(cargo)
+        .args(["run", "--example", name])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn cargo for example {name}: {e}"));
+    assert!(
+        output.status.success(),
+        "example {name} failed with {}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+        output.status,
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr),
+    );
+    assert!(
+        !output.stdout.is_empty(),
+        "example {name} produced no output"
+    );
+}
+
+#[test]
+fn quickstart_runs() {
+    run_example("quickstart");
+}
+
+#[test]
+fn adaptive_knn_runs() {
+    run_example("adaptive_knn");
+}
+
+#[test]
+fn city_tour_runs() {
+    run_example("city_tour");
+}
+
+#[test]
+fn motel_finder_runs() {
+    run_example("motel_finder");
+}

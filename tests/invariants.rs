@@ -46,7 +46,11 @@ fn grd2_and_grd3_agree_in_aggregate() {
 
 #[test]
 fn byte_metrics_are_bitwise_reproducible() {
-    for model in [CacheModel::Page, CacheModel::Semantic, CacheModel::Proactive] {
+    for model in [
+        CacheModel::Page,
+        CacheModel::Semantic,
+        CacheModel::Proactive,
+    ] {
         let mut cfg = base();
         cfg.model = model;
         let a = sim::run(&cfg);
@@ -96,7 +100,11 @@ fn capacity_is_never_exceeded_across_models() {
 #[test]
 fn hit_c_never_exceeds_hit_b() {
     // Rs ⊆ R∩C byte-wise, for every model.
-    for model in [CacheModel::Page, CacheModel::Semantic, CacheModel::Proactive] {
+    for model in [
+        CacheModel::Page,
+        CacheModel::Semantic,
+        CacheModel::Proactive,
+    ] {
         let mut cfg = base();
         cfg.model = model;
         let r = sim::run(&cfg);

@@ -112,11 +112,7 @@ fn fig11_shape_form_orderings() {
     );
     // Index share: full form ships the most index.
     let ic = |r: &sim::SimResult| {
-        r.windows
-            .iter()
-            .map(|w| w.index_to_cache)
-            .sum::<f64>()
-            / r.windows.len() as f64
+        r.windows.iter().map(|w| w.index_to_cache).sum::<f64>() / r.windows.len() as f64
     };
     assert!(
         ic(fpro) > ic(cpro),

@@ -61,15 +61,21 @@ fn contact_answers_track_updates_exactly() {
         client.client().cache().validate().unwrap();
         // Queries that contacted the server must match the *current* truth.
         if out.ledger.contacted_server {
-            let QuerySpec::Range { window } = &spec else { unreachable!() };
+            let QuerySpec::Range { window } = &spec else {
+                unreachable!()
+            };
             let mut got = out.answer.objects.clone();
             got.sort_unstable();
             got.dedup();
             let mut want = naive::range_naive(server.store(), window);
             // Tombstoned objects are not in the tree but remain in the
             // naive store scan — filter them.
-            let deleted: std::collections::HashSet<ObjectId> =
-                server.update_log().deleted_objects().iter().copied().collect();
+            let deleted: std::collections::HashSet<ObjectId> = server
+                .update_log()
+                .deleted_objects()
+                .iter()
+                .copied()
+                .collect();
             want.retain(|id| !deleted.contains(id));
             assert_eq!(got, want, "round {round}");
         }
@@ -105,11 +111,16 @@ fn stale_resume_costs_one_extra_round_trip() {
     // Final answer is correct w.r.t. current state.
     let mut got = out.answer.objects.clone();
     got.sort_unstable();
-    let QuerySpec::Range { window } = wider else { unreachable!() };
+    let QuerySpec::Range { window } = wider else {
+        unreachable!()
+    };
     let mut want = naive::range_naive(server.store(), &window);
     want.retain(|id| *id != victim);
     assert_eq!(got, want);
-    assert!(!out.answer.objects.contains(&victim), "deleted object served");
+    assert!(
+        !out.answer.objects.contains(&victim),
+        "deleted object served"
+    );
 }
 
 #[test]

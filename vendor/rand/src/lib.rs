@@ -1,0 +1,167 @@
+//! Minimal, dependency-free stand-in for the `rand` crate (0.9 API subset).
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors exactly the surface the reproduction uses:
+//!
+//! * [`rngs::SmallRng`] — a xoshiro256++ generator (same family as the real
+//!   `SmallRng` on 64-bit targets), seeded via SplitMix64.
+//! * [`SeedableRng::seed_from_u64`] — deterministic seeding for experiments.
+//! * [`Rng::random_range`] / [`Rng::random_bool`] — uniform sampling over
+//!   integer and float ranges.
+//!
+//! The generator is deterministic for a given seed, which is all the
+//! simulator and the test-suite require. Swap this path dependency for the
+//! real `rand = "0.9"` once a registry is reachable; no call-site changes.
+
+pub mod rngs;
+
+/// Low-level source of randomness: everything derives from `next_u64`.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Deterministic construction from a 64-bit seed (the only constructor the
+/// workspace uses).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "p={p} out of [0,1]");
+        unit_f64(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Uniform f64 in `[0, 1)` from the top 53 bits of one draw.
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    ((rng.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Types that can be sampled uniformly from a range.
+pub trait SampleUniform: PartialOrd + Copy {
+    fn sample_in<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self, inclusive: bool) -> Self;
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_in<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+                inclusive: bool,
+            ) -> Self {
+                let lo = low as i128;
+                let hi = high as i128;
+                let span = (hi - lo + if inclusive { 1 } else { 0 }) as u128;
+                assert!(span > 0, "cannot sample empty range {low}..{high}");
+                // Lemire-style widening multiply: maps next_u64 onto the span
+                // with negligible bias for test/simulation purposes.
+                let v = ((rng.next_u64() as u128).wrapping_mul(span)) >> 64;
+                (lo + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_float {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_in<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+                _inclusive: bool,
+            ) -> Self {
+                assert!(low <= high, "cannot sample empty range {low}..{high}");
+                let u = unit_f64(rng) as $t;
+                low + (high - low) * u
+            }
+        }
+    )*};
+}
+
+impl_sample_float!(f32, f64);
+
+/// Range forms accepted by [`Rng::random_range`].
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_in(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (start, end) = self.into_inner();
+        T::sample_in(rng, start, end, true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::SmallRng;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let v: u32 = rng.random_range(10..20);
+            assert!((10..20).contains(&v));
+            let f: f64 = rng.random_range(0.25..=0.75);
+            assert!((0.25..=0.75).contains(&f));
+            let i: i64 = rng.random_range(-5i64..5);
+            assert!((-5..5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn random_bool_is_calibrated() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let hits = (0..100_000).filter(|_| rng.random_bool(0.3)).count();
+        assert!((28_000..32_000).contains(&hits), "hits={hits}");
+    }
+
+    #[test]
+    fn full_u64_range_does_not_overflow() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let _: u64 = rng.random_range(0..u64::MAX);
+        let _: u64 = rng.random_range(0..=u64::MAX);
+    }
+}
