@@ -1,0 +1,89 @@
+//! Fleet scaling extension: one shared server, a growing population of
+//! concurrent proactive clients. The paper's server keeps per-client
+//! adaptive d⁺ state (§4.3) but its experiments simulate one client at a
+//! time; here the `Send + Sync` server core serves N sessions on worker
+//! threads and we watch aggregate throughput and per-client response time
+//! as the fleet grows.
+//!
+//! Columns:
+//! * `sim q/s` — offered load the server absorbs in *simulated* time
+//!   (client streams run in parallel in the simulated world, so this
+//!   scales with the fleet regardless of host cores);
+//! * `wall q/s` — queries processed per wall-clock second across the
+//!   whole fleet run (scales with host parallelism);
+//! * `resp` — mean per-client §4.1 response time (cache effects only:
+//!   the channel model is per-client, so this stays flat as N grows);
+//! * `hit_c` / `fmr` — merged cache hit and false-miss rates.
+//!
+//! Defaults to doubling fleet sizes up to `--clients` (default 8); each
+//! client issues `--queries` (default 500) queries.
+
+use pc_bench::{banner, fmt_pct, fmt_s, HarnessOpts, Table};
+use pc_sim::{build_server, CacheModel, Fleet};
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let max_clients = opts.clients.unwrap_or(8);
+    let mut cfg = opts.base_config();
+    cfg.model = CacheModel::Proactive;
+    if !opts.paper_scale && opts.queries.is_none() {
+        cfg.n_queries = 500;
+    }
+    banner(
+        "ext: concurrent client fleet (shared Send+Sync server)",
+        &cfg,
+    );
+
+    let server = build_server(&cfg);
+    let mut sizes = Vec::new();
+    let mut n = 1;
+    while n < max_clients {
+        sizes.push(n);
+        n *= 2;
+    }
+    sizes.push(max_clients);
+
+    let mut table = Table::new(vec![
+        "clients", "threads", "queries", "wall", "sim q/s", "wall q/s", "resp", "hit_c", "fmr",
+    ]);
+    let mut last_sim_qps = 0.0;
+    let mut monotone = true;
+    for &clients in &sizes {
+        // Reset adaptive state so every fleet size starts from a cold
+        // controller (client ids overlap across rows).
+        for c in 0..clients {
+            server.forget_client(c);
+        }
+        let fleet = Fleet::new(cfg).clients(clients).threads(opts.threads);
+        let out = fleet.run(&server);
+        let s = &out.merged.summary;
+        table.row(vec![
+            clients.to_string(),
+            if opts.threads == 0 {
+                "auto".to_string()
+            } else {
+                opts.threads.to_string()
+            },
+            out.total_queries().to_string(),
+            fmt_s(out.wall_s),
+            format!("{:.2}", out.sim_qps()),
+            format!("{:.0}", out.wall_qps()),
+            fmt_s(s.avg_response_s),
+            fmt_pct(s.hit_c),
+            fmt_pct(s.fmr),
+        ]);
+        monotone &= out.sim_qps() > last_sim_qps;
+        last_sim_qps = out.sim_qps();
+    }
+    table.print();
+    println!();
+    println!(
+        "aggregate throughput {} with fleet size; server tracked {} client states",
+        if monotone {
+            "scales monotonically"
+        } else {
+            "did NOT scale monotonically"
+        },
+        server.tracked_clients()
+    );
+}

@@ -21,6 +21,11 @@ pub struct HarnessOpts {
     pub objects: Option<usize>,
     pub queries: Option<usize>,
     pub seed: u64,
+    /// Fleet size for multi-client experiments (sessions with ids `0..N`);
+    /// `None` lets each binary pick its own default.
+    pub clients: Option<u32>,
+    /// Worker-thread cap for fleet runs; 0 = host parallelism.
+    pub threads: usize,
 }
 
 impl HarnessOpts {
@@ -30,6 +35,8 @@ impl HarnessOpts {
             objects: None,
             queries: None,
             seed: 2005,
+            clients: None,
+            threads: 0,
         };
         let args: Vec<String> = std::env::args().collect();
         let mut i = 1;
@@ -48,8 +55,21 @@ impl HarnessOpts {
                     i += 1;
                     opts.seed = args[i].parse().expect("--seed S");
                 }
+                "--clients" => {
+                    i += 1;
+                    let n: u32 = args[i].parse().expect("--clients N");
+                    assert!(n > 0, "--clients must be ≥ 1");
+                    opts.clients = Some(n);
+                }
+                "--threads" => {
+                    i += 1;
+                    opts.threads = args[i].parse().expect("--threads N");
+                }
                 "--help" | "-h" => {
-                    eprintln!("options: --paper-scale | --objects N | --queries N | --seed S");
+                    eprintln!(
+                        "options: --paper-scale | --objects N | --queries N | --seed S \
+                         | --clients N | --threads N"
+                    );
                     std::process::exit(0);
                 }
                 other => panic!("unknown option {other}"),

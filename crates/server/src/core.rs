@@ -1,0 +1,176 @@
+//! The immutable query core of the server: dataset, R*-tree, BPT store and
+//! update log. Everything here is plain data with `&self` query methods, so
+//! a `ServerCore` is `Send + Sync` and can be shared behind an [`Arc`]
+//! (`std::sync::Arc`) by any number of worker threads — the concurrency
+//! story of a server that, per Fig. 3, serves many mobile clients at once.
+//!
+//! The per-client *adaptive* state (§4.3) deliberately lives outside this
+//! type, in [`crate::AdaptiveController`]; [`crate::Server`] composes the
+//! two and remains the one-stop façade.
+
+use crate::forms::{build_shipments, FormMode};
+use pc_rtree::bpt::BptStore;
+use pc_rtree::engine::{execute, resume, AccessLog, NoopTracer, Outcome};
+use pc_rtree::proto::{QuerySpec, RemainderQuery, ServerReply};
+use pc_rtree::view::FullView;
+use pc_rtree::{ObjectStore, RTree, RTreeConfig};
+
+/// The shared-state heart of the server: index + data + versioning, no
+/// per-client state. All query methods take `&self`.
+#[derive(Clone, Debug)]
+pub struct ServerCore {
+    tree: RTree,
+    bpts: BptStore,
+    store: ObjectStore,
+    updates: crate::updates::UpdateLog,
+}
+
+impl ServerCore {
+    /// Bulk loads the index over `store` and prepares the BPTs offline.
+    pub fn build(store: ObjectStore, tree_cfg: RTreeConfig) -> Self {
+        let objects: Vec<_> = store.iter().copied().collect();
+        let tree = RTree::bulk_load(tree_cfg, &objects);
+        let bpts = BptStore::build(&tree);
+        ServerCore {
+            tree,
+            bpts,
+            store,
+            updates: crate::updates::UpdateLog::default(),
+        }
+    }
+
+    pub fn tree(&self) -> &RTree {
+        &self.tree
+    }
+
+    pub(crate) fn tree_mut(&mut self) -> &mut RTree {
+        &mut self.tree
+    }
+
+    pub fn bpts(&self) -> &BptStore {
+        &self.bpts
+    }
+
+    pub fn store(&self) -> &ObjectStore {
+        &self.store
+    }
+
+    pub(crate) fn store_mut(&mut self) -> &mut ObjectStore {
+        &mut self.store
+    }
+
+    /// Update/invalidation state (§7 extension).
+    pub fn update_log(&self) -> &crate::updates::UpdateLog {
+        &self.updates
+    }
+
+    pub(crate) fn update_log_mut(&mut self) -> &mut crate::updates::UpdateLog {
+        &mut self.updates
+    }
+
+    /// Rebuilds the BPT of one node after its entry set changed.
+    pub(crate) fn rebuild_bpt(&mut self, node: pc_rtree::NodeId) {
+        self.bpts.rebuild_node(&self.tree, node);
+    }
+
+    /// Evaluates a query directly (no caching) — ground truth for the
+    /// simulator's metrics and the backend for the PAG/SEM baselines.
+    pub fn direct(&self, spec: &QuerySpec) -> Outcome {
+        let view = FullView::new(&self.tree, &self.bpts);
+        execute(&view, spec, &mut NoopTracer)
+    }
+
+    /// Stage ② of Fig. 3 with an explicit form: resumes `Qr` from its heap,
+    /// assembles `Rr` (splitting confirmed-cached results from transmitted
+    /// ones) and the supporting index `Ir` in `mode`. This is the
+    /// policy-free primitive behind [`crate::Server::process_remainder`].
+    pub fn resume_remainder(&self, rq: &RemainderQuery, mode: FormMode) -> ServerReply {
+        let view = FullView::new(&self.tree, &self.bpts);
+        let mut log = AccessLog::default();
+        let outcome = resume(&view, rq, &mut log);
+        debug_assert!(outcome.remainder.is_none(), "server must finish queries");
+
+        let index = build_shipments(&log, &self.tree, &self.bpts, mode);
+
+        let mut confirmed = Vec::new();
+        let mut objects = Vec::new();
+        for &(id, cached) in &outcome.results {
+            if cached {
+                confirmed.push(id);
+            } else {
+                objects.push(*self.store.get(id));
+            }
+        }
+        ServerReply {
+            confirmed,
+            objects,
+            pairs: outcome.result_pairs,
+            index,
+            expansions: outcome.expansions,
+        }
+    }
+
+    /// Auxiliary BPT bytes (§6.4's "4.2 MB for NE" statistic).
+    pub fn bpt_bytes(&self) -> u64 {
+        self.bpts.total_aux_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pc_geom::{Point, Rect};
+    use pc_rtree::naive;
+    use pc_rtree::{ObjectId, SpatialObject};
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use std::sync::Arc;
+
+    fn sample_core(n: usize, seed: u64) -> ServerCore {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let objects: Vec<SpatialObject> = (0..n)
+            .map(|i| SpatialObject {
+                id: ObjectId(i as u32),
+                mbr: Rect::from_point(Point::new(
+                    rng.random_range(0.0..1.0),
+                    rng.random_range(0.0..1.0),
+                )),
+                size_bytes: 1000,
+            })
+            .collect();
+        ServerCore::build(ObjectStore::new(objects), RTreeConfig::small())
+    }
+
+    #[test]
+    fn core_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ServerCore>();
+        assert_send_sync::<Arc<ServerCore>>();
+    }
+
+    #[test]
+    fn shared_core_answers_queries_from_many_threads() {
+        let core = Arc::new(sample_core(400, 11));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let core = Arc::clone(&core);
+                std::thread::spawn(move || {
+                    let w = Rect::centered_square(Point::new(0.2 + 0.15 * t as f64, 0.5), 0.2);
+                    let got: Vec<ObjectId> = core
+                        .direct(&QuerySpec::Range { window: w })
+                        .results
+                        .iter()
+                        .map(|&(id, _)| id)
+                        .collect();
+                    let mut got = got;
+                    got.sort_unstable();
+                    (w, got)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (w, got) = h.join().unwrap();
+            assert_eq!(got, naive::range_naive(core.store(), &w));
+        }
+    }
+}

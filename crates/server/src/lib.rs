@@ -3,13 +3,23 @@
 //! full / compact / d⁺-level compact form (§4.2–4.3), and runs the
 //! per-client adaptive controller that tunes `d` from reported false-miss
 //! rates (§4.3).
+//!
+//! Concurrency: [`Server`] is `Send + Sync` with a `&self` read path
+//! (`process_remainder` / `report_fmr` / `direct`), built from an
+//! immutable [`ServerCore`] (dataset + R*-tree + BPT store, shareable
+//! behind an `Arc`) plus a sharded, interior-mutable
+//! [`AdaptiveController`] for the per-client §4.3 state. One server
+//! instance serves a whole fleet of concurrent clients; only data updates
+//! ([`Server::apply_updates`]) need `&mut`.
 
 mod adaptive;
+mod core;
 mod forms;
 mod server;
 pub mod updates;
 
 pub use adaptive::{AdaptiveController, AdaptiveState};
+pub use core::ServerCore;
 pub use forms::{build_shipments, FormMode};
 pub use server::{ClientId, FormPolicy, Server, ServerConfig};
 pub use updates::{Update, UpdateLog, VersionedReply};

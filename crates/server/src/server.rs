@@ -1,12 +1,16 @@
-//! The server: owns the dataset, the R*-tree, the BPT store and the
-//! adaptive controller, and turns remainder queries into replies.
+//! The server: composes the shared [`ServerCore`] (dataset, R*-tree, BPT
+//! store) with the per-client [`AdaptiveController`], and turns remainder
+//! queries into replies. The whole read path — `process_remainder`,
+//! `report_fmr`, `direct` — takes `&self`, and `Server` is `Send + Sync`,
+//! so one server instance behind an `Arc` (or scoped-thread borrows)
+//! serves a concurrent fleet of clients.
 
 use crate::adaptive::AdaptiveController;
-use crate::forms::{build_shipments, FormMode};
+use crate::core::ServerCore;
+use crate::forms::FormMode;
 use pc_rtree::bpt::BptStore;
-use pc_rtree::engine::{execute, resume, AccessLog, NoopTracer, Outcome};
+use pc_rtree::engine::Outcome;
 use pc_rtree::proto::{QuerySpec, RemainderQuery, ServerReply};
-use pc_rtree::view::FullView;
 use pc_rtree::{ObjectStore, RTree, RTreeConfig};
 
 /// Identifier the server uses to keep per-client adaptive state.
@@ -41,6 +45,12 @@ pub struct ServerConfig {
     pub initial_d: u8,
     /// Upper clamp for d (a BPT of a 4 KB page is ~11 deep).
     pub max_d: u8,
+    /// Cap on tracked per-client adaptive states; the least-recently
+    /// reporting client is evicted past this, so a long-lived server under
+    /// churning client ids keeps a bounded table. Approximate: enforced
+    /// per controller shard, so the real bound is within ±16 of this value
+    /// (and never below 16, one state per shard).
+    pub max_tracked_clients: usize,
 }
 
 impl Default for ServerConfig {
@@ -50,6 +60,7 @@ impl Default for ServerConfig {
             sensitivity: 0.2,
             initial_d: 1,
             max_d: 16,
+            max_tracked_clients: 1 << 16,
         }
     }
 }
@@ -57,62 +68,52 @@ impl Default for ServerConfig {
 /// The mobile application server of Fig. 3.
 #[derive(Clone, Debug)]
 pub struct Server {
-    tree: RTree,
-    bpts: BptStore,
-    store: ObjectStore,
+    core: ServerCore,
     cfg: ServerConfig,
     adaptive: AdaptiveController,
-    updates: crate::updates::UpdateLog,
 }
 
 impl Server {
     /// Bulk loads the index over `store` and prepares the BPTs offline.
     pub fn new(store: ObjectStore, tree_cfg: RTreeConfig, cfg: ServerConfig) -> Self {
-        let objects: Vec<_> = store.iter().copied().collect();
-        let tree = RTree::bulk_load(tree_cfg, &objects);
-        let bpts = BptStore::build(&tree);
+        Server::from_core(ServerCore::build(store, tree_cfg), cfg)
+    }
+
+    /// Wraps an already-built core (shared-index deployments build the core
+    /// once and stand up policy façades around it).
+    pub fn from_core(core: ServerCore, cfg: ServerConfig) -> Self {
         Server {
-            tree,
-            bpts,
-            store,
+            core,
             cfg,
-            adaptive: AdaptiveController::new(cfg.sensitivity, cfg.initial_d, cfg.max_d),
-            updates: crate::updates::UpdateLog::default(),
+            adaptive: AdaptiveController::new(cfg.sensitivity, cfg.initial_d, cfg.max_d)
+                .with_max_clients(cfg.max_tracked_clients),
         }
     }
 
+    /// The shared query core (index, data, update log).
+    pub fn core(&self) -> &ServerCore {
+        &self.core
+    }
+
+    pub(crate) fn core_mut(&mut self) -> &mut ServerCore {
+        &mut self.core
+    }
+
     pub fn tree(&self) -> &RTree {
-        &self.tree
-    }
-
-    pub(crate) fn tree_mut(&mut self) -> &mut RTree {
-        &mut self.tree
-    }
-
-    pub(crate) fn store_mut(&mut self) -> &mut ObjectStore {
-        &mut self.store
+        self.core.tree()
     }
 
     /// Update/invalidation state (§7 extension).
     pub fn update_log(&self) -> &crate::updates::UpdateLog {
-        &self.updates
-    }
-
-    pub(crate) fn update_log_mut(&mut self) -> &mut crate::updates::UpdateLog {
-        &mut self.updates
-    }
-
-    /// Rebuilds the BPT of one node after its entry set changed.
-    pub(crate) fn rebuild_bpt(&mut self, node: pc_rtree::NodeId) {
-        self.bpts.rebuild_node(&self.tree, node);
+        self.core.update_log()
     }
 
     pub fn bpts(&self) -> &BptStore {
-        &self.bpts
+        self.core.bpts()
     }
 
     pub fn store(&self) -> &ObjectStore {
-        &self.store
+        self.core.store()
     }
 
     pub fn config(&self) -> &ServerConfig {
@@ -122,46 +123,23 @@ impl Server {
     /// Evaluates a query directly (no caching) — ground truth for the
     /// simulator's metrics and the backend for the PAG/SEM baselines.
     pub fn direct(&self, spec: &QuerySpec) -> Outcome {
-        let view = FullView::new(&self.tree, &self.bpts);
-        execute(&view, spec, &mut NoopTracer)
+        self.core.direct(spec)
     }
 
     /// Stage ② of Fig. 3: resumes `Qr` from its heap, assembles `Rr`
     /// (splitting confirmed-cached results from transmitted ones) and the
-    /// supporting index `Ir` in this server's form.
+    /// supporting index `Ir` in this server's form for this client.
     pub fn process_remainder(&self, client: ClientId, rq: &RemainderQuery) -> ServerReply {
-        let view = FullView::new(&self.tree, &self.bpts);
-        let mut log = AccessLog::default();
-        let outcome = resume(&view, rq, &mut log);
-        debug_assert!(outcome.remainder.is_none(), "server must finish queries");
-
         let mode = match self.cfg.form {
             FormPolicy::Full => FormMode::Full,
             FormPolicy::Compact => FormMode::COMPACT,
             FormPolicy::Adaptive => FormMode::DLevel(self.adaptive.d(client)),
         };
-        let index = build_shipments(&log, &self.tree, &self.bpts, mode);
-
-        let mut confirmed = Vec::new();
-        let mut objects = Vec::new();
-        for &(id, cached) in &outcome.results {
-            if cached {
-                confirmed.push(id);
-            } else {
-                objects.push(*self.store.get(id));
-            }
-        }
-        ServerReply {
-            confirmed,
-            objects,
-            pairs: outcome.result_pairs,
-            index,
-            expansions: outcome.expansions,
-        }
+        self.core.resume_remainder(rq, mode)
     }
 
     /// Receives a client's periodic fmr report (§4.3); returns the new d.
-    pub fn report_fmr(&mut self, client: ClientId, fmr: f64) -> u8 {
+    pub fn report_fmr(&self, client: ClientId, fmr: f64) -> u8 {
         self.adaptive.report(client, fmr)
     }
 
@@ -170,9 +148,20 @@ impl Server {
         self.adaptive.d(client)
     }
 
+    /// Drops a client's adaptive state (e.g. on disconnect); returns
+    /// whether anything was tracked.
+    pub fn forget_client(&self, client: ClientId) -> bool {
+        self.adaptive.forget_client(client)
+    }
+
+    /// Number of clients with recorded adaptive state.
+    pub fn tracked_clients(&self) -> usize {
+        self.adaptive.tracked_clients()
+    }
+
     /// Auxiliary BPT bytes (§6.4's "4.2 MB for NE" statistic).
     pub fn bpt_bytes(&self) -> u64 {
-        self.bpts.total_aux_bytes()
+        self.core.bpt_bytes()
     }
 }
 
@@ -185,6 +174,7 @@ mod tests {
     use pc_rtree::{ObjectId, SpatialObject};
     use rand::rngs::SmallRng;
     use rand::{Rng, SeedableRng};
+    use std::sync::Arc;
 
     fn sample_server(n: usize, seed: u64, form: FormPolicy) -> Server {
         let mut rng = SmallRng::seed_from_u64(seed);
@@ -227,6 +217,46 @@ mod tests {
             already_found: 0,
             heap: vec![(spec.key_for(&mbr), entry)],
         }
+    }
+
+    #[test]
+    fn server_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Server>();
+        assert_send_sync::<Arc<Server>>();
+    }
+
+    #[test]
+    fn shared_server_serves_concurrent_clients() {
+        // The whole read path — remainder resumption + fmr reports — runs
+        // from plain `&Server` on several threads at once, and each client
+        // keeps its own adaptive trajectory.
+        let server = Arc::new(sample_server(300, 10, FormPolicy::Adaptive));
+        let handles: Vec<_> = (0..4u32)
+            .map(|client| {
+                let server = Arc::clone(&server);
+                std::thread::spawn(move || {
+                    let w = Rect::centered_square(Point::new(0.5, 0.5), 0.2);
+                    let rq = cold_remainder(&server, QuerySpec::Range { window: w });
+                    let reply = server.process_remainder(client, &rq);
+                    // Client `client` reports a rising fmr `client` times.
+                    for step in 0..client {
+                        server.report_fmr(client, 0.1 * (step + 1) as f64 + 0.01);
+                    }
+                    reply.objects.len()
+                })
+            })
+            .collect();
+        let counts: Vec<usize> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(
+            counts.windows(2).all(|w| w[0] == w[1]),
+            "same query, same answer"
+        );
+        // 0 reports → initial d; k≥2 reports → d rose k−1 times.
+        let d0 = ServerConfig::default().initial_d;
+        assert_eq!(server.client_d(0), d0);
+        assert_eq!(server.client_d(2), d0 + 1);
+        assert_eq!(server.client_d(3), d0 + 2);
     }
 
     #[test]
@@ -301,7 +331,7 @@ mod tests {
 
     #[test]
     fn adaptive_d_feedback_changes_future_forms() {
-        let mut server = sample_server(400, 5, FormPolicy::Adaptive);
+        let server = sample_server(400, 5, FormPolicy::Adaptive);
         let spec = QuerySpec::Knn {
             center: Point::new(0.5, 0.5),
             k: 2,
@@ -318,6 +348,18 @@ mod tests {
             .process_remainder(9, &cold_remainder(&server, spec))
             .index_bytes();
         assert!(after >= before, "higher d must not shrink the form");
+    }
+
+    #[test]
+    fn forgotten_client_restarts_from_initial_d() {
+        let server = sample_server(200, 7, FormPolicy::Adaptive);
+        server.report_fmr(3, 0.1);
+        server.report_fmr(3, 0.5);
+        assert!(server.client_d(3) > ServerConfig::default().initial_d);
+        assert_eq!(server.tracked_clients(), 1);
+        assert!(server.forget_client(3));
+        assert_eq!(server.client_d(3), ServerConfig::default().initial_d);
+        assert_eq!(server.tracked_clients(), 0);
     }
 
     #[test]

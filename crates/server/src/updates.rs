@@ -88,35 +88,36 @@ impl Server {
     /// R*-tree, rebuilds the BPTs of changed nodes, bumps the epoch and
     /// records the changed-node set. Returns the new epoch.
     pub fn apply_updates(&mut self, updates: &[Update]) -> u64 {
+        let core = self.core_mut();
         for u in updates {
             match *u {
                 Update::Insert { mbr, size_bytes } => {
-                    let id = self.store_mut().push(mbr, size_bytes);
-                    let obj = *self.store().get(id);
-                    self.tree_mut().insert(&obj);
+                    let id = core.store_mut().push(mbr, size_bytes);
+                    let obj = *core.store().get(id);
+                    core.tree_mut().insert(&obj);
                 }
                 Update::Delete(id) => {
-                    let mbr = self.store().get(id).mbr;
-                    if self.tree_mut().delete(id, &mbr) {
-                        self.update_log_mut().deleted.push(id);
+                    let mbr = core.store().get(id).mbr;
+                    if core.tree_mut().delete(id, &mbr) {
+                        core.update_log_mut().deleted.push(id);
                     }
                 }
                 Update::Move { id, to } => {
-                    let from = self.store().get(id).mbr;
-                    if self.tree_mut().delete(id, &from) {
-                        self.store_mut().set_mbr(id, to);
-                        let obj = *self.store().get(id);
-                        self.tree_mut().insert(&obj);
+                    let from = core.store().get(id).mbr;
+                    if core.tree_mut().delete(id, &from) {
+                        core.store_mut().set_mbr(id, to);
+                        let obj = *core.store().get(id);
+                        core.tree_mut().insert(&obj);
                     }
                 }
             }
         }
-        let dirty = self.tree_mut().take_dirty();
-        self.update_log_mut().epoch += 1;
-        let epoch = self.update_log().epoch;
+        let dirty = core.tree_mut().take_dirty();
+        core.update_log_mut().epoch += 1;
+        let epoch = core.update_log().epoch;
         for n in dirty {
-            self.rebuild_bpt(n);
-            self.update_log_mut().node_changes.insert(n, epoch);
+            core.rebuild_bpt(n);
+            core.update_log_mut().node_changes.insert(n, epoch);
         }
         epoch
     }

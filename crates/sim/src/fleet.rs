@@ -1,0 +1,133 @@
+//! The multi-client fleet driver: N [`ClientSession`]s against one shared
+//! `&Server`, spread over scoped worker threads. Sessions are seeded per
+//! client id and never share mutable state (the server's read path is
+//! `&self`, its adaptive table is per-client), so a concurrent fleet run
+//! produces exactly the per-client metrics of the same sessions run
+//! sequentially — only wall-clock CPU timings differ.
+
+use crate::config::SimConfig;
+use crate::metrics::SimResult;
+use crate::session::ClientSession;
+use pc_server::{ClientId, Server};
+use std::time::Instant;
+
+/// Builder/driver for a fleet of concurrent client sessions.
+#[derive(Clone, Copy, Debug)]
+pub struct Fleet {
+    cfg: SimConfig,
+    clients: u32,
+    threads: usize,
+}
+
+/// What a fleet run produced.
+#[derive(Clone, Debug)]
+pub struct FleetResult {
+    /// One finished result per client, indexed by client id.
+    pub per_client: Vec<SimResult>,
+    /// All clients folded together ([`SimResult::merge`] in id order).
+    pub merged: SimResult,
+    /// Wall-clock seconds for the whole fleet run.
+    pub wall_s: f64,
+}
+
+impl FleetResult {
+    fn collect(mut per_client: Vec<(ClientId, SimResult)>, wall_s: f64) -> Self {
+        per_client.sort_by_key(|(id, _)| *id);
+        let per_client: Vec<SimResult> = per_client.into_iter().map(|(_, r)| r).collect();
+        let mut merged = SimResult::default();
+        for r in &per_client {
+            merged.merge(r);
+        }
+        FleetResult {
+            per_client,
+            merged,
+            wall_s,
+        }
+    }
+
+    pub fn total_queries(&self) -> usize {
+        self.merged.summary.queries
+    }
+
+    /// Aggregate server throughput against the wall clock (hardware view).
+    pub fn wall_qps(&self) -> f64 {
+        self.total_queries() as f64 / self.wall_s.max(1e-9)
+    }
+
+    /// Aggregate throughput in *simulated* time: total queries over the
+    /// longest client stream's span. Client streams run in parallel in the
+    /// simulated world, so this is the offered load one server absorbs —
+    /// it grows with fleet size regardless of host core count.
+    pub fn sim_qps(&self) -> f64 {
+        self.total_queries() as f64 / self.merged.sim_elapsed_s.max(1e-9)
+    }
+}
+
+impl Fleet {
+    pub fn new(cfg: SimConfig) -> Self {
+        Fleet {
+            cfg,
+            clients: 1,
+            threads: 0,
+        }
+    }
+
+    /// Number of client sessions (ids `0..n`).
+    pub fn clients(mut self, n: u32) -> Self {
+        assert!(n > 0, "a fleet needs at least one client");
+        self.clients = n;
+        self
+    }
+
+    /// Worker-thread cap; 0 (the default) uses the host parallelism.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n;
+        self
+    }
+
+    fn effective_threads(&self) -> usize {
+        let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let cap = if self.threads == 0 { hw } else { self.threads };
+        cap.max(1).min(self.clients as usize)
+    }
+
+    /// Runs the fleet concurrently on scoped threads: client ids are dealt
+    /// round-robin to workers, each worker drives its sessions to
+    /// completion against the shared server.
+    pub fn run(&self, server: &Server) -> FleetResult {
+        let start = Instant::now();
+        let workers = self.effective_threads();
+        let cfg = self.cfg;
+        let clients = self.clients;
+        let results = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    scope.spawn(move || {
+                        let mut out = Vec::new();
+                        let mut id = w as u32;
+                        while id < clients {
+                            out.push((id, ClientSession::new(&cfg, server, id).run(server)));
+                            id += workers as u32;
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("fleet worker panicked"))
+                .collect::<Vec<_>>()
+        });
+        FleetResult::collect(results, start.elapsed().as_secs_f64())
+    }
+
+    /// Runs the same sessions one after another on the calling thread —
+    /// the reference for the concurrency-determinism tests.
+    pub fn run_sequential(&self, server: &Server) -> FleetResult {
+        let start = Instant::now();
+        let results = (0..self.clients)
+            .map(|id| (id, ClientSession::new(&self.cfg, server, id).run(server)))
+            .collect();
+        FleetResult::collect(results, start.elapsed().as_secs_f64())
+    }
+}

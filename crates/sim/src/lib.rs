@@ -1,26 +1,37 @@
-//! The end-to-end simulator behind every §6 experiment: a mobile client
-//! (RAN or DIR) issues a Poisson stream of range/kNN/join queries about its
-//! neighborhood against one of the three caching models (PAG, SEM,
+//! The end-to-end simulator behind every §6 experiment: mobile clients
+//! (RAN or DIR) issue Poisson streams of range/kNN/join queries about
+//! their neighborhoods against one of the three caching models (PAG, SEM,
 //! proactive in FPRO/CPRO/APRO form), over the 384 Kbps channel, while the
 //! metrics of §6.1 are collected: per-query uplink/downlink bytes, the
 //! per-byte response time of §4.1, cache hit rate, byte hit rate,
 //! false-miss rate, client/server CPU time and the index/cache ratio.
+//!
+//! Architecture: one [`ClientSession`] owns everything private to a client
+//! (mobility, query generator, model runner, rolling fmr window, metrics)
+//! and steps against a shared `&Server`; a [`Fleet`] drives N sessions
+//! concurrently on scoped threads and merges their results. The
+//! single-client entry points [`run`] / [`run_with_server`] are thin
+//! wrappers over a session with client id 0 and reproduce the historical
+//! sequential behavior exactly.
 
 pub mod collab;
 mod config;
+mod fleet;
 mod metrics;
+#[cfg(test)]
+mod proptests;
 mod runner;
+mod session;
 pub mod updates;
 
 pub use config::{CacheModel, SimConfig};
-pub use metrics::{QueryKind, QueryRecord, SimResult, Summary, WindowPoint};
+pub use fleet::{Fleet, FleetResult};
+pub use metrics::{QueryKind, QueryRecord, SimResult, Summary, SummaryTotals, WindowPoint};
 pub use runner::{ModelRunner, ProactiveRunner, RunOutput};
+pub use session::{client_seed, ClientSession};
 pub use updates::{UpdatingClient, UpdatingOutcome};
 
-use pc_mobility::MobileClient;
 use pc_server::{Server, ServerConfig};
-use pc_workload::{DriftingK, QueryGenerator};
-use std::time::Instant;
 
 /// Builds the server (dataset + index + BPTs) for a configuration. Exposed
 /// separately so harnesses can reuse one server across model runs — dataset
@@ -34,140 +45,22 @@ pub fn build_server(cfg: &SimConfig) -> Server {
             form: cfg.form,
             sensitivity: cfg.sensitivity,
             initial_d: cfg.initial_d,
-            max_d: 16,
+            ..Default::default()
         },
     )
 }
 
-/// Runs one full simulation.
+/// Runs one full single-client simulation.
 pub fn run(cfg: &SimConfig) -> SimResult {
-    let mut server = build_server(cfg);
-    run_with_server(cfg, &mut server)
+    let server = build_server(cfg);
+    ClientSession::new(cfg, &server, 0).run(&server)
 }
 
-/// Runs a simulation against a pre-built server (must match `cfg.dataset`,
-/// `cfg.n_objects`, `cfg.seed` and the form policy).
+/// Runs a single-client simulation against a pre-built server (must match
+/// `cfg.dataset`, `cfg.n_objects`, `cfg.seed` and the form policy). Takes
+/// `&mut` only for historical compatibility — the session needs `&Server`.
 pub fn run_with_server(cfg: &SimConfig, server: &mut Server) -> SimResult {
-    let capacity = cfg.cache_bytes(server.store().total_bytes());
-    let mut runner = runner::make_runner(cfg, server, capacity);
-    let mut mobile = MobileClient::new(cfg.mobility, cfg.mobility_cfg, cfg.seed ^ 0x4d4f42);
-    let mut qgen = QueryGenerator::new(cfg.workload, cfg.seed ^ 0x514f);
-    let mut drifting = cfg
-        .drifting_k
-        .map(|(hi, lo)| DriftingK::new(cfg.n_queries, hi, lo, cfg.seed ^ 0x4446));
-
-    let mut result = SimResult::new(cfg.window);
-    // Rolling fmr counters for the periodic §4.3 report.
-    let mut fm_win = 0u64;
-    let mut cached_win = 0u64;
-
-    for q in 0..cfg.n_queries {
-        mobile.advance(qgen.think_time());
-        let pos = mobile.position();
-        let spec = match &mut drifting {
-            Some(d) => d.next_query(pos),
-            None => qgen.next_query(pos),
-        };
-
-        let wall = Instant::now();
-        let out = runner.run_query(server, &spec, pos, cfg.server_time_s);
-        let total_cpu = wall.elapsed().as_secs_f64();
-        let client_cpu = (total_cpu - out.server_cpu_s).max(0.0);
-
-        if cfg.verify {
-            verify_against_direct(server, &spec, &out);
-        }
-
-        let resp = out.ledger.response(&cfg.channel);
-        // The client keeps moving while the reply streams in.
-        mobile.advance(resp.completion_s);
-
-        let cached = out.cached_results.len() as u64;
-        let served = out.locally_served.len() as u64;
-        debug_assert!(served <= cached, "Rs must be within R ∩ C");
-        fm_win += cached - served;
-        cached_win += cached;
-
-        // Periodic fmr report drives the adaptive controller (§4.3).
-        if cfg.model == CacheModel::Proactive
-            && cfg.fmr_report_period > 0
-            && (q + 1) % cfg.fmr_report_period == 0
-        {
-            let fmr = if cached_win > 0 {
-                fm_win as f64 / cached_win as f64
-            } else {
-                0.0
-            };
-            server.report_fmr(0, fmr);
-            fm_win = 0;
-            cached_win = 0;
-        }
-
-        let (used, index_bytes) = runner.cache_stats();
-        result.push(
-            QueryRecord {
-                kind: QueryKind::of(&spec),
-                uplink_bytes: out.ledger.uplink_bytes,
-                downlink_bytes: out.ledger.downlink_bytes(),
-                saved_bytes: out.ledger.saved_bytes,
-                confirmed_bytes: out.ledger.confirmed_bytes,
-                transmitted_bytes: out.ledger.transmitted_bytes(),
-                result_bytes: out.ledger.result_bytes(),
-                cached_result_bytes: out
-                    .cached_results
-                    .iter()
-                    .map(|&id| server.store().get(id).size_bytes as u64)
-                    .sum(),
-                avg_response_s: resp.avg_response_s,
-                completion_s: resp.completion_s,
-                result_count: out.objects.len() as u32,
-                cached_results: cached as u32,
-                false_misses: (cached - served) as u32,
-                contacted: out.ledger.contacted_server,
-                client_cpu_s: client_cpu,
-                server_cpu_s: out.server_cpu_s,
-                client_expansions: out.client_expansions,
-            },
-            used,
-            index_bytes,
-            capacity,
-        );
-    }
-    result.finish();
-    result
-}
-
-/// Debug-mode oracle: the model's answer must equal the direct answer.
-fn verify_against_direct(server: &Server, spec: &pc_rtree::proto::QuerySpec, out: &RunOutput) {
-    let direct = server.direct(spec);
-    match spec {
-        pc_rtree::proto::QuerySpec::Join { .. } => {
-            let mut got = out.pairs.clone();
-            got.sort_unstable();
-            let mut want = direct.result_pairs.clone();
-            want.sort_unstable();
-            assert_eq!(got, want, "join answer diverged from direct");
-        }
-        pc_rtree::proto::QuerySpec::Knn { center, .. } => {
-            assert_eq!(out.objects.len(), direct.results.len());
-            let d = |id: pc_rtree::ObjectId| server.store().get(id).mbr.min_dist(center);
-            let mut got: Vec<f64> = out.objects.iter().map(|&o| d(o)).collect();
-            got.sort_by(f64::total_cmp);
-            let mut want: Vec<f64> = direct.results.iter().map(|&(o, _)| d(o)).collect();
-            want.sort_by(f64::total_cmp);
-            for (g, w) in got.iter().zip(&want) {
-                assert!((g - w).abs() < 1e-12, "knn answer diverged from direct");
-            }
-        }
-        pc_rtree::proto::QuerySpec::Range { .. } => {
-            let mut got = out.objects.clone();
-            got.sort_unstable();
-            let mut want: Vec<pc_rtree::ObjectId> =
-                direct.results.iter().map(|(o, _)| *o).collect();
-            want.sort_unstable();
-            assert_eq!(got, want, "range answer diverged from direct");
-        }
-    }
+    ClientSession::new(cfg, server, 0).run(server)
 }
 
 #[cfg(test)]

@@ -1,5 +1,7 @@
 //! Per-query records, aggregate summaries, and the 500-query time series
-//! the §6.4 figures plot.
+//! the §6.4 figures plot. Summaries carry their raw accumulators
+//! ([`SummaryTotals`]) so results from independent client sessions merge
+//! exactly — the fleet driver folds per-client [`SimResult`]s into one.
 
 use pc_rtree::proto::QuerySpec;
 
@@ -31,7 +33,7 @@ impl QueryKind {
 }
 
 /// Everything measured for one query.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct QueryRecord {
     pub kind: QueryKind,
     pub uplink_bytes: u64,
@@ -55,8 +57,69 @@ pub struct QueryRecord {
     pub client_expansions: u64,
 }
 
+/// The raw sums a [`Summary`] is derived from. Kept alongside the derived
+/// rates so two summaries combine exactly: integer sums add losslessly and
+/// ratios are re-derived from the combined sums, never averaged.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SummaryTotals {
+    pub uplink_bytes: u64,
+    pub downlink_bytes: u64,
+    pub result_bytes: u64,
+    pub saved_bytes: u64,
+    pub cached_result_bytes: u64,
+    pub cached_results: u64,
+    pub false_misses: u64,
+    pub contacts: u64,
+    pub client_expansions: u64,
+    /// Sum of per-query §4.1 response times over queries with results.
+    pub response_s: f64,
+    /// Number of queries with results (the response average's denominator).
+    pub response_queries: u64,
+    pub client_cpu_s: f64,
+    pub server_cpu_s: f64,
+}
+
+impl SummaryTotals {
+    fn push(&mut self, r: &QueryRecord) {
+        self.uplink_bytes += r.uplink_bytes;
+        self.downlink_bytes += r.downlink_bytes;
+        self.result_bytes += r.result_bytes;
+        self.saved_bytes += r.saved_bytes;
+        self.cached_result_bytes += r.cached_result_bytes;
+        self.cached_results += r.cached_results as u64;
+        self.false_misses += r.false_misses as u64;
+        self.contacts += r.contacted as u64;
+        self.client_expansions += r.client_expansions;
+        if r.result_bytes > 0 {
+            self.response_s += r.avg_response_s;
+            self.response_queries += 1;
+        }
+        self.client_cpu_s += r.client_cpu_s;
+        self.server_cpu_s += r.server_cpu_s;
+    }
+
+    /// Field-wise sum (commutative: `a.combine(&b) == b.combine(&a)`).
+    pub fn combine(&self, other: &SummaryTotals) -> SummaryTotals {
+        SummaryTotals {
+            uplink_bytes: self.uplink_bytes + other.uplink_bytes,
+            downlink_bytes: self.downlink_bytes + other.downlink_bytes,
+            result_bytes: self.result_bytes + other.result_bytes,
+            saved_bytes: self.saved_bytes + other.saved_bytes,
+            cached_result_bytes: self.cached_result_bytes + other.cached_result_bytes,
+            cached_results: self.cached_results + other.cached_results,
+            false_misses: self.false_misses + other.false_misses,
+            contacts: self.contacts + other.contacts,
+            client_expansions: self.client_expansions + other.client_expansions,
+            response_s: self.response_s + other.response_s,
+            response_queries: self.response_queries + other.response_queries,
+            client_cpu_s: self.client_cpu_s + other.client_cpu_s,
+            server_cpu_s: self.server_cpu_s + other.server_cpu_s,
+        }
+    }
+}
+
 /// Aggregates over a whole run (or a window).
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct Summary {
     pub queries: usize,
     pub avg_uplink_bytes: f64,
@@ -74,58 +137,54 @@ pub struct Summary {
     /// Fraction of queries that contacted the server.
     pub contact_rate: f64,
     pub avg_client_expansions: f64,
+    /// The raw sums this summary derives from (basis for exact merging).
+    pub totals: SummaryTotals,
 }
 
 impl Summary {
-    fn from_records(records: &[QueryRecord]) -> Summary {
-        let n = records.len();
-        if n == 0 {
+    /// Summarizes a batch of records from scratch.
+    pub fn from_records(records: &[QueryRecord]) -> Summary {
+        let mut totals = SummaryTotals::default();
+        for r in records {
+            totals.push(r);
+        }
+        Summary::from_totals(records.len(), totals)
+    }
+
+    /// Derives the averages and rates from raw sums.
+    pub fn from_totals(queries: usize, totals: SummaryTotals) -> Summary {
+        if queries == 0 {
             return Summary::default();
         }
-        let mut s = Summary {
-            queries: n,
-            ..Default::default()
-        };
-        let mut result_bytes = 0u64;
-        let mut saved_bytes = 0u64;
-        let mut cached_bytes = 0u64;
-        let mut cached_objs = 0u64;
-        let mut false_misses = 0u64;
-        let mut resp_sum = 0.0;
-        let mut resp_n = 0usize;
-        for r in records {
-            s.avg_uplink_bytes += r.uplink_bytes as f64;
-            s.avg_downlink_bytes += r.downlink_bytes as f64;
-            s.avg_client_cpu_ms += r.client_cpu_s * 1e3;
-            s.avg_server_cpu_ms += r.server_cpu_s * 1e3;
-            s.avg_client_expansions += r.client_expansions as f64;
-            s.contact_rate += r.contacted as u8 as f64;
-            result_bytes += r.result_bytes;
-            saved_bytes += r.saved_bytes;
-            cached_bytes += r.cached_result_bytes;
-            cached_objs += r.cached_results as u64;
-            false_misses += r.false_misses as u64;
-            if r.result_bytes > 0 {
-                resp_sum += r.avg_response_s;
-                resp_n += 1;
-            }
+        let nf = queries as f64;
+        Summary {
+            queries,
+            avg_uplink_bytes: totals.uplink_bytes as f64 / nf,
+            avg_downlink_bytes: totals.downlink_bytes as f64 / nf,
+            avg_response_s: if totals.response_queries > 0 {
+                totals.response_s / totals.response_queries as f64
+            } else {
+                0.0
+            },
+            hit_c: ratio(totals.saved_bytes, totals.result_bytes),
+            hit_b: ratio(totals.cached_result_bytes, totals.result_bytes),
+            fmr: ratio(totals.false_misses, totals.cached_results),
+            avg_client_cpu_ms: totals.client_cpu_s * 1e3 / nf,
+            avg_server_cpu_ms: totals.server_cpu_s * 1e3 / nf,
+            contact_rate: totals.contacts as f64 / nf,
+            avg_client_expansions: totals.client_expansions as f64 / nf,
+            totals,
         }
-        let nf = n as f64;
-        s.avg_uplink_bytes /= nf;
-        s.avg_downlink_bytes /= nf;
-        s.avg_client_cpu_ms /= nf;
-        s.avg_server_cpu_ms /= nf;
-        s.avg_client_expansions /= nf;
-        s.contact_rate /= nf;
-        s.avg_response_s = if resp_n > 0 {
-            resp_sum / resp_n as f64
-        } else {
-            0.0
-        };
-        s.hit_c = ratio(saved_bytes, result_bytes);
-        s.hit_b = ratio(cached_bytes, result_bytes);
-        s.fmr = ratio(false_misses, cached_objs);
-        s
+    }
+
+    /// Combines two summaries as if their underlying runs were one: sums
+    /// add, rates re-derive. Commutative, and exact for every field backed
+    /// by integer accumulators.
+    pub fn merge(&self, other: &Summary) -> Summary {
+        Summary::from_totals(
+            self.queries + other.queries,
+            self.totals.combine(&other.totals),
+        )
     }
 }
 
@@ -138,7 +197,7 @@ fn ratio(num: u64, den: u64) -> f64 {
 }
 
 /// One point of the Fig. 11 time series (aggregated over `window` queries).
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct WindowPoint {
     /// Index of the last query in the window (1-based).
     pub query_end: usize,
@@ -149,12 +208,17 @@ pub struct WindowPoint {
     pub hit_c: f64,
 }
 
-/// Full simulation output.
+/// Full simulation output — one client's stream, or (after
+/// [`SimResult::merge`]) the concatenation of several clients' streams.
 #[derive(Clone, Debug, Default)]
 pub struct SimResult {
     pub records: Vec<QueryRecord>,
     pub summary: Summary,
     pub windows: Vec<WindowPoint>,
+    /// Simulated seconds this client's stream spanned (think times plus
+    /// reply completions). Merging takes the max: fleet clients run in
+    /// parallel in simulated time.
+    pub sim_elapsed_s: f64,
     window_size: usize,
     window_start: usize,
     last_index_bytes: u64,
@@ -202,6 +266,23 @@ impl SimResult {
             self.close_window();
         }
         self.summary = Summary::from_records(&self.records);
+    }
+
+    /// Folds another (finished) result into this one: records concatenate,
+    /// window points keep their per-stream shape with `query_end` offset
+    /// into the concatenation, summaries combine exactly via their totals,
+    /// and the simulated span takes the max (parallel streams).
+    pub fn merge(&mut self, other: &SimResult) {
+        let offset = self.records.len();
+        self.records.extend_from_slice(&other.records);
+        self.windows.extend(other.windows.iter().map(|w| {
+            let mut w = *w;
+            w.query_end += offset;
+            w
+        }));
+        self.summary = self.summary.merge(&other.summary);
+        self.sim_elapsed_s = self.sim_elapsed_s.max(other.sim_elapsed_s);
+        self.window_start = self.records.len();
     }
 
     /// Per-kind summaries (range / knn / join).
@@ -295,5 +376,41 @@ mod tests {
         assert_eq!(r.by_kind(QueryKind::Range).queries, 1);
         assert_eq!(r.by_kind(QueryKind::Join).queries, 1);
         assert_eq!(r.by_kind(QueryKind::Knn).queries, 0);
+    }
+
+    #[test]
+    fn summary_merge_equals_one_big_run() {
+        let recs_a = [rec(500, 800, 1000, 1, 4), rec(0, 0, 1000, 0, 0)];
+        let recs_b = [rec(100, 100, 400, 2, 3)];
+        let all: Vec<QueryRecord> = recs_a.iter().chain(&recs_b).copied().collect();
+        let merged = Summary::from_records(&recs_a).merge(&Summary::from_records(&recs_b));
+        assert_eq!(merged, Summary::from_records(&all));
+    }
+
+    #[test]
+    fn result_merge_concatenates_and_offsets_windows() {
+        let mut a = SimResult::new(2);
+        for _ in 0..4 {
+            a.push(rec(0, 0, 100, 0, 0), 0, 50, 100);
+        }
+        a.finish();
+        a.sim_elapsed_s = 10.0;
+        let mut b = SimResult::new(2);
+        for _ in 0..3 {
+            b.push(rec(500, 800, 1000, 1, 4), 0, 10, 100);
+        }
+        b.finish();
+        b.sim_elapsed_s = 25.0;
+
+        let mut m = a.clone();
+        m.merge(&b);
+        assert_eq!(m.records.len(), 7);
+        assert_eq!(m.summary.queries, 7);
+        assert_eq!(m.windows.len(), a.windows.len() + b.windows.len());
+        // b's first window (query_end 2) lands after a's 4 records.
+        assert_eq!(m.windows[a.windows.len()].query_end, 6);
+        assert!((m.sim_elapsed_s - 25.0).abs() < 1e-12, "max of spans");
+        // Merged summary equals the summary over all records.
+        assert_eq!(m.summary, Summary::from_records(&m.records));
     }
 }

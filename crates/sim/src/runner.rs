@@ -9,7 +9,7 @@ use pc_geom::Point;
 use pc_net::Ledger;
 use pc_rtree::proto::{QuerySpec, CONFIRM_BYTES, OBJECT_HEADER_BYTES, PAIR_BYTES};
 use pc_rtree::ObjectId;
-use pc_server::Server;
+use pc_server::{ClientId, Server};
 use std::time::Instant;
 
 /// What one query produced, regardless of model.
@@ -28,8 +28,9 @@ pub struct RunOutput {
     pub client_expansions: u64,
 }
 
-/// A caching model under simulation.
-pub trait ModelRunner {
+/// A caching model under simulation. `Send` so a fleet can drive one
+/// runner per client session across worker threads.
+pub trait ModelRunner: Send {
     fn run_query(
         &mut self,
         server: &Server,
@@ -42,8 +43,13 @@ pub trait ModelRunner {
     fn cache_stats(&self) -> (u64, u64);
 }
 
-/// Builds the runner for a configuration.
-pub(crate) fn make_runner(cfg: &SimConfig, server: &Server, capacity: u64) -> Box<dyn ModelRunner> {
+/// Builds the runner for one client of a configuration.
+pub(crate) fn make_runner(
+    cfg: &SimConfig,
+    server: &Server,
+    capacity: u64,
+    client: ClientId,
+) -> Box<dyn ModelRunner> {
     match cfg.model {
         CacheModel::Page => Box::new(PageRunner {
             cache: PageCache::new(capacity),
@@ -51,11 +57,10 @@ pub(crate) fn make_runner(cfg: &SimConfig, server: &Server, capacity: u64) -> Bo
         CacheModel::Semantic => Box::new(SemanticRunner {
             cache: SemanticCache::new(capacity),
         }),
-        CacheModel::Proactive => Box::new(ProactiveRunner::new(
-            capacity,
-            cfg.policy,
-            Catalog::from_tree(server.tree()),
-        )),
+        CacheModel::Proactive => Box::new(
+            ProactiveRunner::new(capacity, cfg.policy, Catalog::from_tree(server.tree()))
+                .with_client(client),
+        ),
     }
 }
 
@@ -147,17 +152,31 @@ impl ModelRunner for SemanticRunner {
 /// benches drive it directly.
 pub struct ProactiveRunner {
     client: Client,
+    /// The id this runner identifies as in remainder queries and fmr
+    /// reports — it selects the server-side adaptive state (§4.3).
+    client_id: ClientId,
 }
 
 impl ProactiveRunner {
     pub fn new(capacity: u64, policy: pc_cache::ReplacementPolicy, catalog: Catalog) -> Self {
         ProactiveRunner {
             client: Client::new(capacity, policy, catalog),
+            client_id: 0,
         }
+    }
+
+    /// Identifies this runner as `id` towards the server.
+    pub fn with_client(mut self, id: ClientId) -> Self {
+        self.client_id = id;
+        self
     }
 
     pub fn client(&self) -> &Client {
         &self.client
+    }
+
+    pub fn client_id(&self) -> ClientId {
+        self.client_id
     }
 }
 
@@ -189,7 +208,7 @@ impl ModelRunner for ProactiveRunner {
                 ledger.uplink_bytes = rq.uplink_bytes();
                 ledger.server_time_s = server_time_s;
                 let t = Instant::now();
-                let reply = server.process_remainder(0, rq);
+                let reply = server.process_remainder(self.client_id, rq);
                 server_cpu_s = t.elapsed().as_secs_f64();
                 ledger.confirmed_bytes = reply
                     .confirmed

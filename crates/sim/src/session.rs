@@ -1,0 +1,206 @@
+//! One mobile client's simulation session: mobility, query generation,
+//! the caching model under test and a rolling fmr window, all seeded from
+//! a per-client derivation of the experiment seed. Client 0's streams are
+//! bit-identical to the historical single-client runner, so the sequential
+//! entry points ([`crate::run`] / [`crate::run_with_server`]) are thin
+//! wrappers over a one-session fleet.
+
+use crate::config::{CacheModel, SimConfig};
+use crate::metrics::{QueryKind, QueryRecord, SimResult};
+use crate::runner::{self, ModelRunner, RunOutput};
+use pc_mobility::MobileClient;
+use pc_server::{ClientId, Server};
+use pc_workload::{DriftingK, QueryGenerator};
+use std::time::Instant;
+
+/// Derives the RNG seed for one client of a fleet. Client 0 maps to the
+/// experiment seed itself (the historical single-client streams); higher
+/// ids decorrelate via a golden-ratio multiply.
+pub fn client_seed(seed: u64, client: ClientId) -> u64 {
+    seed ^ (client as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// A single client's end-to-end simulation state, stepped one query at a
+/// time against a shared `&Server`.
+pub struct ClientSession {
+    id: ClientId,
+    cfg: SimConfig,
+    capacity: u64,
+    runner: Box<dyn ModelRunner>,
+    mobile: MobileClient,
+    qgen: QueryGenerator,
+    drifting: Option<DriftingK>,
+    result: SimResult,
+    /// Rolling fmr counters for the periodic §4.3 report.
+    fm_win: u64,
+    cached_win: u64,
+    issued: usize,
+    elapsed_s: f64,
+}
+
+impl ClientSession {
+    pub fn new(cfg: &SimConfig, server: &Server, id: ClientId) -> Self {
+        let capacity = cfg.cache_bytes(server.store().total_bytes());
+        let seed = client_seed(cfg.seed, id);
+        ClientSession {
+            id,
+            cfg: *cfg,
+            capacity,
+            runner: runner::make_runner(cfg, server, capacity, id),
+            mobile: MobileClient::new(cfg.mobility, cfg.mobility_cfg, seed ^ 0x4d4f42),
+            qgen: QueryGenerator::new(cfg.workload, seed ^ 0x514f),
+            drifting: cfg
+                .drifting_k
+                .map(|(hi, lo)| DriftingK::new(cfg.n_queries, hi, lo, seed ^ 0x4446)),
+            result: SimResult::new(cfg.window),
+            fm_win: 0,
+            cached_win: 0,
+            issued: 0,
+            elapsed_s: 0.0,
+        }
+    }
+
+    pub fn id(&self) -> ClientId {
+        self.id
+    }
+
+    /// Queries issued so far.
+    pub fn issued(&self) -> usize {
+        self.issued
+    }
+
+    pub fn is_done(&self) -> bool {
+        self.issued >= self.cfg.n_queries
+    }
+
+    /// Runs one think-move-query-absorb cycle; returns `false` once the
+    /// session has issued its full query budget.
+    pub fn step(&mut self, server: &Server) -> bool {
+        if self.is_done() {
+            return false;
+        }
+        let think = self.qgen.think_time();
+        self.mobile.advance(think);
+        self.elapsed_s += think;
+        let pos = self.mobile.position();
+        let spec = match &mut self.drifting {
+            Some(d) => d.next_query(pos),
+            None => self.qgen.next_query(pos),
+        };
+
+        let wall = Instant::now();
+        let out = self
+            .runner
+            .run_query(server, &spec, pos, self.cfg.server_time_s);
+        let total_cpu = wall.elapsed().as_secs_f64();
+        let client_cpu = (total_cpu - out.server_cpu_s).max(0.0);
+
+        if self.cfg.verify {
+            verify_against_direct(server, &spec, &out);
+        }
+
+        let resp = out.ledger.response(&self.cfg.channel);
+        // The client keeps moving while the reply streams in.
+        self.mobile.advance(resp.completion_s);
+        self.elapsed_s += resp.completion_s;
+
+        let cached = out.cached_results.len() as u64;
+        let served = out.locally_served.len() as u64;
+        debug_assert!(served <= cached, "Rs must be within R ∩ C");
+        self.fm_win += cached - served;
+        self.cached_win += cached;
+        self.issued += 1;
+
+        // Periodic fmr report drives the adaptive controller (§4.3).
+        if self.cfg.model == CacheModel::Proactive
+            && self.cfg.fmr_report_period > 0
+            && self.issued.is_multiple_of(self.cfg.fmr_report_period)
+        {
+            let fmr = if self.cached_win > 0 {
+                self.fm_win as f64 / self.cached_win as f64
+            } else {
+                0.0
+            };
+            server.report_fmr(self.id, fmr);
+            self.fm_win = 0;
+            self.cached_win = 0;
+        }
+
+        let (used, index_bytes) = self.runner.cache_stats();
+        self.result.push(
+            QueryRecord {
+                kind: QueryKind::of(&spec),
+                uplink_bytes: out.ledger.uplink_bytes,
+                downlink_bytes: out.ledger.downlink_bytes(),
+                saved_bytes: out.ledger.saved_bytes,
+                confirmed_bytes: out.ledger.confirmed_bytes,
+                transmitted_bytes: out.ledger.transmitted_bytes(),
+                result_bytes: out.ledger.result_bytes(),
+                cached_result_bytes: out
+                    .cached_results
+                    .iter()
+                    .map(|&id| server.store().get(id).size_bytes as u64)
+                    .sum(),
+                avg_response_s: resp.avg_response_s,
+                completion_s: resp.completion_s,
+                result_count: out.objects.len() as u32,
+                cached_results: cached as u32,
+                false_misses: (cached - served) as u32,
+                contacted: out.ledger.contacted_server,
+                client_cpu_s: client_cpu,
+                server_cpu_s: out.server_cpu_s,
+                client_expansions: out.client_expansions,
+            },
+            used,
+            index_bytes,
+            self.capacity,
+        );
+        !self.is_done()
+    }
+
+    /// Closes the session and returns its finished result.
+    pub fn finish(mut self) -> SimResult {
+        self.result.sim_elapsed_s = self.elapsed_s;
+        self.result.finish();
+        self.result
+    }
+
+    /// Runs the session to completion.
+    pub fn run(mut self, server: &Server) -> SimResult {
+        while self.step(server) {}
+        self.finish()
+    }
+}
+
+/// Debug-mode oracle: the model's answer must equal the direct answer.
+fn verify_against_direct(server: &Server, spec: &pc_rtree::proto::QuerySpec, out: &RunOutput) {
+    let direct = server.direct(spec);
+    match spec {
+        pc_rtree::proto::QuerySpec::Join { .. } => {
+            let mut got = out.pairs.clone();
+            got.sort_unstable();
+            let mut want = direct.result_pairs.clone();
+            want.sort_unstable();
+            assert_eq!(got, want, "join answer diverged from direct");
+        }
+        pc_rtree::proto::QuerySpec::Knn { center, .. } => {
+            assert_eq!(out.objects.len(), direct.results.len());
+            let d = |id: pc_rtree::ObjectId| server.store().get(id).mbr.min_dist(center);
+            let mut got: Vec<f64> = out.objects.iter().map(|&o| d(o)).collect();
+            got.sort_by(f64::total_cmp);
+            let mut want: Vec<f64> = direct.results.iter().map(|&(o, _)| d(o)).collect();
+            want.sort_by(f64::total_cmp);
+            for (g, w) in got.iter().zip(&want) {
+                assert!((g - w).abs() < 1e-12, "knn answer diverged from direct");
+            }
+        }
+        pc_rtree::proto::QuerySpec::Range { .. } => {
+            let mut got = out.objects.clone();
+            got.sort_unstable();
+            let mut want: Vec<pc_rtree::ObjectId> =
+                direct.results.iter().map(|(o, _)| *o).collect();
+            want.sort_unstable();
+            assert_eq!(got, want, "range answer diverged from direct");
+        }
+    }
+}

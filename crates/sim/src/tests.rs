@@ -142,6 +142,42 @@ fn adaptive_form_reacts_to_fmr_reports() {
 }
 
 #[test]
+fn each_fleet_client_drives_its_own_adaptive_state() {
+    // Three clients with periodic fmr reports: the server ends up with one
+    // adaptive state per client id, none hardwired to client 0.
+    let mut cfg = small(CacheModel::Proactive);
+    cfg.form = FormPolicy::Adaptive;
+    cfg.fmr_report_period = 20;
+    cfg.n_queries = 60;
+    cfg.verify = false;
+    let server = build_server(&cfg);
+    let fleet = Fleet::new(cfg).clients(3).threads(2);
+    let out = fleet.run(&server);
+    assert_eq!(out.per_client.len(), 3);
+    assert_eq!(out.total_queries(), 180);
+    assert_eq!(server.tracked_clients(), 3, "one §4.3 state per client");
+    for c in 0..3u32 {
+        assert!(server.forget_client(c));
+    }
+    assert_eq!(server.tracked_clients(), 0);
+}
+
+#[test]
+fn sessions_are_send() {
+    fn assert_send<T: Send>() {}
+    assert_send::<ClientSession>();
+    assert_send::<Fleet>();
+    assert_send::<FleetResult>();
+}
+
+#[test]
+fn client_seeds_decorrelate_but_preserve_client_zero() {
+    assert_eq!(client_seed(2005, 0), 2005, "client 0 keeps the run seed");
+    let seeds: std::collections::HashSet<u64> = (0..100u32).map(|c| client_seed(2005, c)).collect();
+    assert_eq!(seeds.len(), 100, "per-client seeds are distinct");
+}
+
+#[test]
 fn by_kind_breakdown_sums_to_total() {
     let r = run(&small(CacheModel::Proactive));
     let total = r.summary.queries;

@@ -12,12 +12,16 @@
 //!   and FAR replacement (§5).
 //! * [`client`] — the client-side query processor (§3.3).
 //! * [`server`] — remainder-query resumption, compact / d⁺-level forms and
-//!   the adaptive controller (§4).
+//!   the adaptive controller (§4). `Send + Sync`: an immutable
+//!   `ServerCore` plus a sharded per-client controller, so one server
+//!   behind an `Arc` serves a concurrent client fleet.
 //! * [`baselines`] — semantic caching (SEM) and page caching (PAG).
 //! * [`mobility`] — random-waypoint and directed mobility models (§6.1).
 //! * [`workload`] — synthetic datasets, query generation, Zipf sizes.
 //! * [`net`] — the 384 Kbps wireless channel model.
-//! * [`sim`] — the end-to-end simulator and metrics (§6).
+//! * [`sim`] — the end-to-end simulator and metrics (§6): per-client
+//!   `ClientSession`s, a scoped-thread `Fleet` driver with exactly
+//!   mergeable results, and single-client wrappers.
 //!
 //! ## Quickstart
 //!

@@ -1,0 +1,137 @@
+//! Fleet concurrency/determinism integration tests: the multi-client
+//! refactor must not change what any single client computes.
+//!
+//! (a) a 1-client `Fleet` reproduces the sequential `run_with_server`
+//!     path exactly (deterministic metrics; CPU wall-clock excluded);
+//! (b) an N-client concurrent run's per-client results equal the same N
+//!     sessions run sequentially.
+
+use procache::sim::{self, CacheModel, Fleet, SimConfig, SimResult, Summary};
+
+fn fleet_cfg(model: CacheModel) -> SimConfig {
+    let mut cfg = SimConfig::small();
+    cfg.model = model;
+    cfg.n_objects = 3_000;
+    cfg.n_queries = 200;
+    cfg.window = 50;
+    cfg.fmr_report_period = 25;
+    cfg.verify = false;
+    cfg
+}
+
+/// The deterministic (non-wall-clock) slice of a summary.
+fn deterministic_parts(s: &Summary) -> (usize, [u64; 7], [f64; 6]) {
+    (
+        s.queries,
+        [
+            s.totals.uplink_bytes,
+            s.totals.downlink_bytes,
+            s.totals.result_bytes,
+            s.totals.saved_bytes,
+            s.totals.cached_results,
+            s.totals.false_misses,
+            s.totals.contacts,
+        ],
+        [
+            s.avg_uplink_bytes,
+            s.avg_downlink_bytes,
+            s.avg_response_s,
+            s.hit_c,
+            s.hit_b,
+            s.fmr,
+        ],
+    )
+}
+
+fn assert_same_stream(a: &SimResult, b: &SimResult, who: &str) {
+    assert_eq!(a.records.len(), b.records.len(), "{who}: record count");
+    for (i, (x, y)) in a.records.iter().zip(&b.records).enumerate() {
+        assert_eq!(x.kind, y.kind, "{who}: kind @{i}");
+        assert_eq!(x.uplink_bytes, y.uplink_bytes, "{who}: uplink @{i}");
+        assert_eq!(x.downlink_bytes, y.downlink_bytes, "{who}: downlink @{i}");
+        assert_eq!(x.saved_bytes, y.saved_bytes, "{who}: saved @{i}");
+        assert_eq!(x.result_bytes, y.result_bytes, "{who}: result @{i}");
+        assert_eq!(x.false_misses, y.false_misses, "{who}: false misses @{i}");
+        assert_eq!(x.contacted, y.contacted, "{who}: contacted @{i}");
+        assert_eq!(x.avg_response_s, y.avg_response_s, "{who}: response @{i}");
+    }
+    assert_eq!(
+        deterministic_parts(&a.summary),
+        deterministic_parts(&b.summary),
+        "{who}: summary"
+    );
+    assert_eq!(a.sim_elapsed_s, b.sim_elapsed_s, "{who}: simulated span");
+}
+
+#[test]
+fn one_client_fleet_reproduces_the_sequential_runner() {
+    for model in [
+        CacheModel::Page,
+        CacheModel::Semantic,
+        CacheModel::Proactive,
+    ] {
+        let cfg = fleet_cfg(model);
+        let mut server = sim::build_server(&cfg);
+        let sequential = sim::run_with_server(&cfg, &mut server);
+
+        // Fresh server: the sequential run above fed the adaptive state.
+        let server = sim::build_server(&cfg);
+        let fleet = Fleet::new(cfg).clients(1).run(&server);
+        assert_eq!(fleet.per_client.len(), 1);
+        assert_same_stream(
+            &sequential,
+            &fleet.per_client[0],
+            &format!("{model} client"),
+        );
+        assert_same_stream(&sequential, &fleet.merged, &format!("{model} merged"));
+    }
+}
+
+#[test]
+fn concurrent_fleet_matches_sequential_sessions() {
+    let cfg = fleet_cfg(CacheModel::Proactive);
+    let clients = 3;
+
+    let server = sim::build_server(&cfg);
+    let concurrent = Fleet::new(cfg).clients(clients).threads(4).run(&server);
+
+    let server = sim::build_server(&cfg);
+    let sequential = Fleet::new(cfg).clients(clients).run_sequential(&server);
+
+    assert_eq!(concurrent.per_client.len(), clients as usize);
+    for (c, (a, b)) in concurrent
+        .per_client
+        .iter()
+        .zip(&sequential.per_client)
+        .enumerate()
+    {
+        assert_same_stream(a, b, &format!("client {c}"));
+    }
+    assert_eq!(
+        deterministic_parts(&concurrent.merged.summary),
+        deterministic_parts(&sequential.merged.summary),
+        "merged summaries"
+    );
+}
+
+#[test]
+fn fleet_clients_see_distinct_workloads() {
+    // Different per-client seeds: the streams must not be clones of each
+    // other (byte-identical streams would mean seed derivation is broken).
+    let cfg = fleet_cfg(CacheModel::Proactive);
+    let server = sim::build_server(&cfg);
+    let out = Fleet::new(cfg).clients(2).run(&server);
+    let a = &out.per_client[0];
+    let b = &out.per_client[1];
+    assert_ne!(
+        a.records
+            .iter()
+            .map(|r| (r.uplink_bytes, r.downlink_bytes))
+            .collect::<Vec<_>>(),
+        b.records
+            .iter()
+            .map(|r| (r.uplink_bytes, r.downlink_bytes))
+            .collect::<Vec<_>>(),
+        "two clients replayed identical streams"
+    );
+}

@@ -2,9 +2,10 @@
 //!
 //! The build environment has no access to crates.io, so the workspace
 //! vendors exactly the surface its property tests use: the [`proptest!`]
-//! macro (with optional `#![proptest_config(..)]`), [`Strategy`] with
-//! `prop_map`, range and tuple strategies, `prop::collection::vec`,
-//! [`arbitrary::any`], and the `prop_assert*` / [`prop_assume!`] macros.
+//! macro (with optional `#![proptest_config(..)]`),
+//! [`Strategy`](strategy::Strategy) with `prop_map`, range and tuple
+//! strategies, `prop::collection::vec`, [`arbitrary::any`], and the
+//! `prop_assert*` / [`prop_assume!`] macros.
 //!
 //! Cases are generated from a deterministic per-test seed. There is no
 //! shrinking: a failing case reports its inputs' assertion message and the
