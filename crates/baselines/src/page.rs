@@ -6,10 +6,10 @@
 use crate::BaselineAnswer;
 use pc_net::Ledger;
 use pc_rtree::proto::{
-    QuerySpec, CONFIRM_BYTES, OBJECT_HEADER_BYTES, OBJECT_ID_BYTES, PAIR_BYTES, QUERY_DESC_BYTES,
+    QuerySpec, Request, CONFIRM_BYTES, OBJECT_HEADER_BYTES, OBJECT_ID_BYTES, PAIR_BYTES,
 };
 use pc_rtree::ObjectId;
-use pc_server::Server;
+use pc_server::{ClientId, ServerHandle};
 use std::collections::HashMap;
 
 /// An LRU object cache addressed by id.
@@ -52,21 +52,24 @@ impl PageCache {
         self.items.is_empty()
     }
 
-    /// Runs one query through the PAG protocol.
+    /// Runs one query through the PAG protocol, shipped as a
+    /// [`Request::Direct`] envelope over the handle's transport.
     ///
     /// Uplink: query descriptor + the ids of *all* cached objects.
     /// Downlink: confirmations for cached results, payloads for the rest.
     pub fn query(
         &mut self,
-        server: &Server,
+        server: &dyn ServerHandle,
+        client: ClientId,
         spec: &QuerySpec,
         server_time_s: f64,
     ) -> BaselineAnswer {
         self.clock += 1;
-        let uplink_bytes = QUERY_DESC_BYTES + self.items.len() as u64 * OBJECT_ID_BYTES;
+        let req = Request::Direct(*spec);
+        let uplink_bytes = req.wire_bytes() + self.items.len() as u64 * OBJECT_ID_BYTES;
 
-        let outcome = server.direct(spec);
-        let objects: Vec<ObjectId> = outcome.results.iter().map(|(id, _)| *id).collect();
+        let outcome = server.call(client, req).into_direct();
+        let objects = outcome.results;
 
         let mut ledger = Ledger {
             uplink_bytes,
@@ -75,8 +78,9 @@ impl PageCache {
             ..Default::default()
         };
         let mut cached_results = Vec::new();
+        let store = server.core().store();
         for &id in &objects {
-            let size = server.store().get(id).size_bytes;
+            let size = store.get(id).size_bytes;
             if let Some(entry) = self.items.get_mut(&id) {
                 entry.1 = self.clock;
                 ledger.confirmed_bytes += size as u64;
@@ -88,12 +92,12 @@ impl PageCache {
                 self.insert(id, size);
             }
         }
-        ledger.extra_downlink_bytes += outcome.result_pairs.len() as u64 * PAIR_BYTES;
+        ledger.extra_downlink_bytes += outcome.pairs.len() as u64 * PAIR_BYTES;
 
         BaselineAnswer {
             ledger,
             objects,
-            pairs: outcome.result_pairs,
+            pairs: outcome.pairs,
             cached_results,
             // PAG stores no query semantics: nothing is ever served before
             // the server confirms (hit_c = 0, fmr = 1).
@@ -125,7 +129,7 @@ mod tests {
     use super::*;
     use pc_geom::{Point, Rect};
     use pc_rtree::{naive, ObjectStore, RTreeConfig, SpatialObject};
-    use pc_server::ServerConfig;
+    use pc_server::{Server, ServerConfig};
     use rand::rngs::SmallRng;
     use rand::{Rng, SeedableRng};
 
@@ -154,7 +158,7 @@ mod tests {
         let mut pag = PageCache::new(1 << 20);
         let w = Rect::centered_square(Point::new(0.5, 0.5), 0.4);
         let spec = QuerySpec::Range { window: w };
-        let a = pag.query(&server, &spec, 0.0);
+        let a = pag.query(&server, 0, &spec, 0.0);
         let mut got = a.objects.clone();
         got.sort_unstable();
         assert_eq!(got, naive::range_naive(server.store(), &w));
@@ -170,8 +174,8 @@ mod tests {
         let spec = QuerySpec::Range {
             window: Rect::centered_square(Point::new(0.4, 0.4), 0.3),
         };
-        let first = pag.query(&server, &spec, 0.0);
-        let second = pag.query(&server, &spec, 0.0);
+        let first = pag.query(&server, 0, &spec, 0.0);
+        let second = pag.query(&server, 0, &spec, 0.0);
         assert_eq!(second.ledger.transmitted_bytes(), 0, "all cached now");
         assert_eq!(
             second.ledger.confirmed_bytes,
@@ -187,6 +191,7 @@ mod tests {
         let mut pag = PageCache::new(1 << 22);
         let q1 = pag.query(
             &server,
+            0,
             &QuerySpec::Range {
                 window: Rect::centered_square(Point::new(0.3, 0.3), 0.3),
             },
@@ -194,6 +199,7 @@ mod tests {
         );
         let q2 = pag.query(
             &server,
+            0,
             &QuerySpec::Range {
                 window: Rect::centered_square(Point::new(0.7, 0.7), 0.3),
             },
@@ -212,7 +218,7 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(9);
         for _ in 0..30 {
             let p = Point::new(rng.random_range(0.0..1.0), rng.random_range(0.0..1.0));
-            pag.query(&server, &QuerySpec::Knn { center: p, k: 4 }, 0.0);
+            pag.query(&server, 0, &QuerySpec::Knn { center: p, k: 4 }, 0.0);
             assert!(pag.used_bytes() <= pag.capacity());
         }
     }
@@ -222,11 +228,11 @@ mod tests {
         let server = server(150, 5);
         let mut pag = PageCache::new(1 << 22);
         let spec = QuerySpec::Join { dist: 0.05 };
-        let first = pag.query(&server, &spec, 0.0);
+        let first = pag.query(&server, 0, &spec, 0.0);
         if first.objects.is_empty() {
             return; // no pairs at this threshold for this seed
         }
-        let second = pag.query(&server, &spec, 0.0);
+        let second = pag.query(&server, 0, &spec, 0.0);
         assert_eq!(second.ledger.transmitted_bytes(), 0);
         assert_eq!(first.pairs, second.pairs);
     }

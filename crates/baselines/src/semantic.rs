@@ -11,9 +11,9 @@
 use crate::BaselineAnswer;
 use pc_geom::{Point, Rect};
 use pc_net::Ledger;
-use pc_rtree::proto::{QuerySpec, OBJECT_HEADER_BYTES, PAIR_BYTES, QUERY_DESC_BYTES};
+use pc_rtree::proto::{QuerySpec, Request, OBJECT_HEADER_BYTES, PAIR_BYTES, QUERY_DESC_BYTES};
 use pc_rtree::ObjectId;
-use pc_server::Server;
+use pc_server::{ClientId, ServerHandle};
 use std::collections::{HashMap, HashSet};
 
 /// Above this many remainder fragments the client coalesces: it submits
@@ -107,15 +107,20 @@ impl SemanticCache {
     /// current position (FAR victims are picked against it).
     pub fn query(
         &mut self,
-        server: &Server,
+        server: &dyn ServerHandle,
+        client: ClientId,
         spec: &QuerySpec,
         pos: Point,
         server_time_s: f64,
     ) -> BaselineAnswer {
         match *spec {
-            QuerySpec::Range { window } => self.query_range(server, window, pos, server_time_s),
-            QuerySpec::Knn { center, k } => self.query_knn(server, center, k, pos, server_time_s),
-            QuerySpec::Join { dist } => self.query_join(server, dist, server_time_s),
+            QuerySpec::Range { window } => {
+                self.query_range(server, client, window, pos, server_time_s)
+            }
+            QuerySpec::Knn { center, k } => {
+                self.query_knn(server, client, center, k, pos, server_time_s)
+            }
+            QuerySpec::Join { dist } => self.query_join(server, client, dist, server_time_s),
         }
     }
 
@@ -125,7 +130,8 @@ impl SemanticCache {
 
     fn query_range(
         &mut self,
-        server: &Server,
+        server: &dyn ServerHandle,
+        client: ClientId,
         window: Rect,
         pos: Point,
         server_time_s: f64,
@@ -192,12 +198,15 @@ impl SemanticCache {
         ledger.uplink_bytes = QUERY_DESC_BYTES + pieces.len() as u64 * REGION_DESC_BYTES;
 
         // Fetch each piece; collect the new regions to insert.
+        let store = server.core().store();
         let mut new_regions: Vec<Region> = Vec::with_capacity(pieces.len());
         for piece in &pieces {
-            let outcome = server.direct(&QuerySpec::Range { window: *piece });
+            let outcome = server
+                .call(client, Request::Direct(QuerySpec::Range { window: *piece }))
+                .into_direct();
             let mut objs = Vec::with_capacity(outcome.results.len());
-            for &(id, _) in &outcome.results {
-                let so = server.store().get(id);
+            for &id in &outcome.results {
+                let so = store.get(id);
                 objs.push(CachedObj {
                     id,
                     mbr: so.mbr,
@@ -251,7 +260,8 @@ impl SemanticCache {
 
     fn query_knn(
         &mut self,
-        server: &Server,
+        server: &dyn ServerHandle,
+        client: ClientId,
         center: Point,
         k: u32,
         pos: Point,
@@ -299,10 +309,15 @@ impl SemanticCache {
 
         // Miss: the complete query goes to the server and every result is
         // retransmitted, cached or not (Example 1.2's penalty).
-        let outcome = server.direct(&QuerySpec::Knn {
-            center,
-            k: k as u32,
-        });
+        let outcome = server
+            .call(
+                client,
+                Request::Direct(QuerySpec::Knn {
+                    center,
+                    k: k as u32,
+                }),
+            )
+            .into_direct();
         let mut ledger = Ledger {
             uplink_bytes: QUERY_DESC_BYTES,
             contacted_server: true,
@@ -313,8 +328,9 @@ impl SemanticCache {
         let mut answer = Vec::with_capacity(outcome.results.len());
         let mut cached_results = Vec::new();
         let mut radius = 0.0f64;
-        for &(id, _) in &outcome.results {
-            let so = server.store().get(id);
+        let store = server.core().store();
+        for &id in &outcome.results {
+            let so = store.get(id);
             ledger.transmitted.push(so.size_bytes);
             ledger.transmitted_header_bytes += OBJECT_HEADER_BYTES;
             answer.push(id);
@@ -353,8 +369,16 @@ impl SemanticCache {
     // Join: pass-through (§6.1)
     // ------------------------------------------------------------------
 
-    fn query_join(&mut self, server: &Server, dist: f64, server_time_s: f64) -> BaselineAnswer {
-        let outcome = server.direct(&QuerySpec::Join { dist });
+    fn query_join(
+        &mut self,
+        server: &dyn ServerHandle,
+        client: ClientId,
+        dist: f64,
+        server_time_s: f64,
+    ) -> BaselineAnswer {
+        let outcome = server
+            .call(client, Request::Direct(QuerySpec::Join { dist }))
+            .into_direct();
         let mut ledger = Ledger {
             uplink_bytes: QUERY_DESC_BYTES,
             contacted_server: true,
@@ -363,8 +387,9 @@ impl SemanticCache {
         };
         let mut answer = Vec::with_capacity(outcome.results.len());
         let mut cached_results = Vec::new();
-        for &(id, _) in &outcome.results {
-            let so = server.store().get(id);
+        let store = server.core().store();
+        for &id in &outcome.results {
+            let so = store.get(id);
             ledger.transmitted.push(so.size_bytes);
             ledger.transmitted_header_bytes += OBJECT_HEADER_BYTES;
             answer.push(id);
@@ -372,11 +397,11 @@ impl SemanticCache {
                 cached_results.push(id);
             }
         }
-        ledger.extra_downlink_bytes += outcome.result_pairs.len() as u64 * PAIR_BYTES;
+        ledger.extra_downlink_bytes += outcome.pairs.len() as u64 * PAIR_BYTES;
         BaselineAnswer {
             ledger,
             objects: answer,
-            pairs: outcome.result_pairs,
+            pairs: outcome.pairs,
             cached_results,
             locally_served: Vec::new(),
         }

@@ -4,7 +4,7 @@
 
 use super::*;
 use pc_rtree::{naive, ObjectStore, RTreeConfig, SpatialObject};
-use pc_server::ServerConfig;
+use pc_server::{Server, ServerConfig};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -39,7 +39,7 @@ fn range_answers_match_naive_under_trimming() {
             (pos.y + rng.random_range(-0.05..0.05)).clamp(0.0, 1.0),
         );
         let w = Rect::centered_square(pos, rng.random_range(0.05..0.25));
-        let a = sem.query(&server, &QuerySpec::Range { window: w }, pos, 0.0);
+        let a = sem.query(&server, 0, &QuerySpec::Range { window: w }, pos, 0.0);
         sem.validate().unwrap();
         let mut got = a.objects.clone();
         got.sort_unstable();
@@ -54,9 +54,9 @@ fn fully_covered_repeat_is_local() {
     let pos = Point::new(0.4, 0.6);
     let w = Rect::centered_square(pos, 0.2);
     let spec = QuerySpec::Range { window: w };
-    let first = sem.query(&server, &spec, pos, 0.0);
+    let first = sem.query(&server, 0, &spec, pos, 0.0);
     assert!(first.ledger.contacted_server);
-    let second = sem.query(&server, &spec, pos, 0.0);
+    let second = sem.query(&server, 0, &spec, pos, 0.0);
     assert!(!second.ledger.contacted_server, "repeat must be local");
     assert_eq!(second.ledger.transmitted_bytes(), 0);
     assert_eq!(first.objects.len(), second.objects.len());
@@ -69,10 +69,10 @@ fn overlapping_window_transmits_only_the_remainder() {
     let mut sem = SemanticCache::new(1 << 22);
     let pos = Point::new(0.5, 0.5);
     let w1 = Rect::from_coords(0.3, 0.3, 0.6, 0.6);
-    let a1 = sem.query(&server, &QuerySpec::Range { window: w1 }, pos, 0.0);
+    let a1 = sem.query(&server, 0, &QuerySpec::Range { window: w1 }, pos, 0.0);
     // Slide the window right: the overlap is cached, only the strip is new.
     let w2 = Rect::from_coords(0.4, 0.3, 0.7, 0.6);
-    let a2 = sem.query(&server, &QuerySpec::Range { window: w2 }, pos, 0.0);
+    let a2 = sem.query(&server, 0, &QuerySpec::Range { window: w2 }, pos, 0.0);
     assert!(a2.ledger.saved_bytes > 0, "overlap must be served locally");
     assert!(
         a2.ledger.transmitted_bytes() < a1.ledger.transmitted_bytes(),
@@ -89,7 +89,7 @@ fn knn_matches_naive_and_valid_repeats_are_local() {
     let mut sem = SemanticCache::new(1 << 22);
     let pos = Point::new(0.5, 0.5);
     let spec = QuerySpec::Knn { center: pos, k: 5 };
-    let first = sem.query(&server, &spec, pos, 0.0);
+    let first = sem.query(&server, 0, &spec, pos, 0.0);
     assert!(first.ledger.contacted_server);
     let want = naive::knn_naive(server.store(), &pos, 5);
     assert_eq!(first.objects.len(), 5);
@@ -98,11 +98,17 @@ fn knn_matches_naive_and_valid_repeats_are_local() {
         assert!((d - wd).abs() < 1e-12);
     }
     // Same point, same k: trivially valid (shift = 0).
-    let again = sem.query(&server, &spec, pos, 0.0);
+    let again = sem.query(&server, 0, &spec, pos, 0.0);
     assert!(!again.ledger.contacted_server, "validity circle must hold");
     // A k' < k at a nearby point may also be answerable.
     let near = Point::new(pos.x + 1e-4, pos.y);
-    let a3 = sem.query(&server, &QuerySpec::Knn { center: near, k: 3 }, near, 0.0);
+    let a3 = sem.query(
+        &server,
+        0,
+        &QuerySpec::Knn { center: near, k: 3 },
+        near,
+        0.0,
+    );
     let want3 = naive::knn_naive(server.store(), &near, 3);
     for (got, (_, wd)) in a3.objects.iter().zip(&want3) {
         let d = server.store().get(*got).mbr.min_dist(&near);
@@ -121,7 +127,7 @@ fn knn_reuse_is_sound_under_random_displacements() {
     for _ in 0..200 {
         let p = Point::new(rng.random_range(0.0..1.0), rng.random_range(0.0..1.0));
         let k = rng.random_range(1..6u32);
-        let a = sem.query(&server, &QuerySpec::Knn { center: p, k }, p, 0.0);
+        let a = sem.query(&server, 0, &QuerySpec::Knn { center: p, k }, p, 0.0);
         let want = naive::knn_naive(server.store(), &p, k as usize);
         assert_eq!(a.objects.len(), want.len());
         for (got, (_, wd)) in a.objects.iter().zip(&want) {
@@ -144,13 +150,14 @@ fn range_cache_cannot_answer_knn() {
     let pos = Point::new(0.5, 0.5);
     sem.query(
         &server,
+        0,
         &QuerySpec::Range {
             window: Rect::centered_square(pos, 0.4),
         },
         pos,
         0.0,
     );
-    let a = sem.query(&server, &QuerySpec::Knn { center: pos, k: 3 }, pos, 0.0);
+    let a = sem.query(&server, 0, &QuerySpec::Knn { center: pos, k: 3 }, pos, 0.0);
     assert!(a.ledger.contacted_server);
     assert_eq!(a.ledger.saved_bytes, 0, "SEM must not share across types");
     assert_eq!(a.ledger.transmitted.len(), 3, "all k retransmitted");
@@ -161,8 +168,8 @@ fn join_passes_through_and_is_never_cached() {
     let server = server(200, 8);
     let mut sem = SemanticCache::new(1 << 24);
     let spec = QuerySpec::Join { dist: 0.03 };
-    let a1 = sem.query(&server, &spec, Point::ORIGIN, 0.0);
-    let a2 = sem.query(&server, &spec, Point::ORIGIN, 0.0);
+    let a1 = sem.query(&server, 0, &spec, Point::ORIGIN, 0.0);
+    let a2 = sem.query(&server, 0, &spec, Point::ORIGIN, 0.0);
     assert_eq!(a1.pairs, a2.pairs);
     assert_eq!(
         a1.ledger.transmitted_bytes(),
@@ -186,6 +193,7 @@ fn far_replacement_keeps_nearby_regions() {
     let far = Point::new(0.9, 0.9);
     sem.query(
         &server,
+        0,
         &QuerySpec::Range {
             window: Rect::centered_square(far, 0.15),
         },
@@ -196,6 +204,7 @@ fn far_replacement_keeps_nearby_regions() {
         let c = Point::new(0.1 + i as f64 * 0.02, 0.1);
         sem.query(
             &server,
+            0,
             &QuerySpec::Range {
                 window: Rect::centered_square(c, 0.12),
             },
@@ -208,6 +217,7 @@ fn far_replacement_keeps_nearby_regions() {
     // is cheaper than a repeat near `far`.
     let near_repeat = sem.query(
         &server,
+        0,
         &QuerySpec::Range {
             window: Rect::centered_square(Point::new(0.1, 0.1), 0.1),
         },
@@ -216,6 +226,7 @@ fn far_replacement_keeps_nearby_regions() {
     );
     let far_repeat = sem.query(
         &server,
+        0,
         &QuerySpec::Range {
             window: Rect::centered_square(far, 0.1),
         },
@@ -240,6 +251,7 @@ fn fragmentation_fallback_coalesces() {
         let p = Point::new(rng.random_range(0.2..0.8), rng.random_range(0.2..0.8));
         sem.query(
             &server,
+            0,
             &QuerySpec::Range {
                 window: Rect::centered_square(p, 0.06),
             },
@@ -250,6 +262,7 @@ fn fragmentation_fallback_coalesces() {
     let w = Rect::from_coords(0.15, 0.15, 0.85, 0.85);
     let a = sem.query(
         &server,
+        0,
         &QuerySpec::Range { window: w },
         Point::new(0.5, 0.5),
         0.0,

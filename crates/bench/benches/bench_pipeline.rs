@@ -76,12 +76,16 @@ fn bench_semantic(c: &mut Criterion) {
         let mut sem = SemanticCache::new(1 << 22);
         let pos = Point::new(0.31, 0.36);
         for spec in warm_specs() {
-            sem.query(&server, &spec, pos, 0.0);
+            sem.query(&server, 0, &spec, pos, 0.0);
         }
         let spec = QuerySpec::Range {
             window: Rect::centered_square(Point::new(0.312, 0.358), 0.02),
         };
-        b.iter(|| sem.query(&server, black_box(&spec), pos, 0.0).objects.len())
+        b.iter(|| {
+            sem.query(&server, 0, black_box(&spec), pos, 0.0)
+                .objects
+                .len()
+        })
     });
 }
 
@@ -90,12 +94,12 @@ fn bench_page(c: &mut Criterion) {
     c.bench_function("pipeline/page_warm_range", |b| {
         let mut pag = PageCache::new(1 << 22);
         for spec in warm_specs() {
-            pag.query(&server, &spec, 0.0);
+            pag.query(&server, 0, &spec, 0.0);
         }
         let spec = QuerySpec::Range {
             window: Rect::centered_square(Point::new(0.312, 0.358), 0.02),
         };
-        b.iter(|| pag.query(&server, black_box(&spec), 0.0).objects.len())
+        b.iter(|| pag.query(&server, 0, black_box(&spec), 0.0).objects.len())
     });
 }
 

@@ -2,8 +2,15 @@
 //! concurrent proactive clients. The paper's server keeps per-client
 //! adaptive d⁺ state (§4.3) but its experiments simulate one client at a
 //! time; here the `Send + Sync` server core serves N sessions on worker
-//! threads and we watch aggregate throughput and per-client response time
-//! as the fleet grows.
+//! threads — through the typed `Transport` protocol — and we watch
+//! aggregate throughput and per-client response time as the fleet grows.
+//!
+//! With `--batch`, remainder queries are routed through the
+//! `BatchedService` front-end instead of direct dispatch: concurrently
+//! arriving requests coalesce per shard (flush threshold `--batch-max`)
+//! and execute against the shared core in one pass. Per-client results are
+//! identical either way (pinned by `tests/fleet.rs`); the batch columns
+//! report how much coalescing the fleet actually produced.
 //!
 //! Columns:
 //! * `sim q/s` — offered load the server absorbs in *simulated* time
@@ -13,13 +20,18 @@
 //!   whole fleet run (scales with host parallelism);
 //! * `resp` — mean per-client §4.1 response time (cache effects only:
 //!   the channel model is per-client, so this stays flat as N grows);
-//! * `hit_c` / `fmr` — merged cache hit and false-miss rates.
+//! * `hit_c` / `fmr` — merged cache hit and false-miss rates;
+//! * `batches` / `avg b` — flushes and mean requests per flush (`--batch`
+//!   only; `avg b = 1.00` means no coalescing happened).
 //!
 //! Defaults to doubling fleet sizes up to `--clients` (default 8); each
-//! client issues `--queries` (default 500) queries.
+//! client issues `--queries` (default 500) queries. Sessions disconnect
+//! (`Forget`) when their budget completes, so the adaptive table drains
+//! between rows on its own.
 
 use pc_bench::{banner, fmt_pct, fmt_s, HarnessOpts, Table};
-use pc_sim::{build_server, CacheModel, Fleet};
+use pc_server::{BatchConfig, BatchedService, ServerHandle};
+use pc_sim::{build_server, CacheModel, Fleet, FleetResult};
 
 fn main() {
     let opts = HarnessOpts::from_args();
@@ -30,7 +42,11 @@ fn main() {
         cfg.n_queries = 500;
     }
     banner(
-        "ext: concurrent client fleet (shared Send+Sync server)",
+        if opts.batch {
+            "ext: concurrent client fleet (batched remainder service)"
+        } else {
+            "ext: concurrent client fleet (shared Send+Sync server)"
+        },
         &cfg,
     );
 
@@ -45,18 +61,36 @@ fn main() {
 
     let mut table = Table::new(vec![
         "clients", "threads", "queries", "wall", "sim q/s", "wall q/s", "resp", "hit_c", "fmr",
+        "batches", "avg b",
     ]);
     let mut last_sim_qps = 0.0;
     let mut monotone = true;
     for &clients in &sizes {
-        // Reset adaptive state so every fleet size starts from a cold
-        // controller (client ids overlap across rows).
-        for c in 0..clients {
-            server.forget_client(c);
-        }
         let fleet = Fleet::new(cfg).clients(clients).threads(opts.threads);
-        let out = fleet.run(&server);
+        let (out, batch_cols): (FleetResult, [String; 2]) = if opts.batch {
+            let service = BatchedService::new(
+                &server,
+                BatchConfig {
+                    max_batch: opts.batch_max,
+                    queue_cap: opts.batch_max.max(4) * 4,
+                    ..BatchConfig::default()
+                },
+            );
+            let out = fleet.run(&service);
+            let stats = service.stats();
+            (
+                out,
+                [
+                    stats.batches.to_string(),
+                    format!("{:.2}", stats.mean_batch()),
+                ],
+            )
+        } else {
+            let handle: &dyn ServerHandle = &server;
+            (fleet.run(handle), ["-".to_string(), "-".to_string()])
+        };
         let s = &out.merged.summary;
+        let [batches, avg_b] = batch_cols;
         table.row(vec![
             clients.to_string(),
             if opts.threads == 0 {
@@ -71,6 +105,8 @@ fn main() {
             fmt_s(s.avg_response_s),
             fmt_pct(s.hit_c),
             fmt_pct(s.fmr),
+            batches,
+            avg_b,
         ]);
         monotone &= out.sim_qps() > last_sim_qps;
         last_sim_qps = out.sim_qps();
@@ -78,12 +114,14 @@ fn main() {
     table.print();
     println!();
     println!(
-        "aggregate throughput {} with fleet size; server tracked {} client states",
+        "aggregate throughput {} with fleet size ({} dispatch); \
+         {} client states remain tracked after disconnects",
         if monotone {
             "scales monotonically"
         } else {
             "did NOT scale monotonically"
         },
+        if opts.batch { "batched" } else { "direct" },
         server.tracked_clients()
     );
 }

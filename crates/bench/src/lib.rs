@@ -26,6 +26,11 @@ pub struct HarnessOpts {
     pub clients: Option<u32>,
     /// Worker-thread cap for fleet runs; 0 = host parallelism.
     pub threads: usize,
+    /// Route remainder queries through the batched service
+    /// (`pc_server::BatchedService`) instead of direct dispatch.
+    pub batch: bool,
+    /// Flush threshold for `--batch` (requests per batch).
+    pub batch_max: usize,
 }
 
 impl HarnessOpts {
@@ -37,6 +42,8 @@ impl HarnessOpts {
             seed: 2005,
             clients: None,
             threads: 0,
+            batch: false,
+            batch_max: 16,
         };
         let args: Vec<String> = std::env::args().collect();
         let mut i = 1;
@@ -65,10 +72,17 @@ impl HarnessOpts {
                     i += 1;
                     opts.threads = args[i].parse().expect("--threads N");
                 }
+                "--batch" => opts.batch = true,
+                "--batch-max" => {
+                    i += 1;
+                    let n: usize = args[i].parse().expect("--batch-max N");
+                    assert!(n > 0, "--batch-max must be ≥ 1");
+                    opts.batch_max = n;
+                }
                 "--help" | "-h" => {
                     eprintln!(
                         "options: --paper-scale | --objects N | --queries N | --seed S \
-                         | --clients N | --threads N"
+                         | --clients N | --threads N | --batch | --batch-max N"
                     );
                     std::process::exit(0);
                 }

@@ -4,10 +4,15 @@
 
 use crate::bpt::{BptStore, Code};
 use crate::engine::{execute, resume, CellChild, Expansion, IndexView, NoopTracer, Target};
-use crate::proto::{CellRef, QuerySpec};
+use crate::proto::{
+    CellKind, CellRecord, CellRef, HeapEntry, NodeShipment, QuerySpec, RemainderQuery, Request,
+    Response, ServerReply, Side, VersionedReply, CONFIRM_BYTES, ENTRY_BYTES, EPOCH_BYTES,
+    HEAP_ENTRY_BYTES, HEAP_PAIR_BYTES, INVALIDATION_BYTES, OBJECT_HEADER_BYTES, PAIR_BYTES,
+    QUERY_DESC_BYTES, SHIPMENT_HEADER_BYTES,
+};
 use crate::tree::{RTree, RTreeConfig};
 use crate::view::FullView;
-use crate::{naive, query, ObjectId, ObjectStore, SpatialObject};
+use crate::{naive, query, NodeId, ObjectId, ObjectStore, SpatialObject};
 use pc_geom::{Point, Rect};
 use proptest::prelude::*;
 
@@ -38,6 +43,91 @@ fn build(objects: &[SpatialObject]) -> (ObjectStore, RTree, BptStore) {
     let tree = RTree::bulk_load(RTreeConfig::small(), objects);
     let bpts = BptStore::build(&tree);
     (ObjectStore::new(objects.to_vec()), tree, bpts)
+}
+
+/// Arbitrary remainder heaps: a mix of single/pair entries over cell and
+/// object sides (geometry is irrelevant for wire sizing).
+fn arb_heap() -> impl Strategy<Value = Vec<(f64, HeapEntry)>> {
+    prop::collection::vec(
+        (
+            0.0f64..1.0,
+            any::<bool>(),
+            any::<bool>(),
+            0u32..64,
+            0u32..64,
+        ),
+        0..24,
+    )
+    .prop_map(|raw| {
+        let side = |is_obj: bool, id: u32| {
+            if is_obj {
+                Side::Obj {
+                    id: ObjectId(id),
+                    mbr: Rect::UNIT,
+                    cached: false,
+                }
+            } else {
+                Side::Cell {
+                    cell: CellRef::node_root(NodeId(id)),
+                    mbr: Rect::UNIT,
+                }
+            }
+        };
+        raw.into_iter()
+            .map(|(key, pair, obj, a, b)| {
+                let entry = if pair {
+                    HeapEntry::Pair(side(obj, a), side(!obj, b))
+                } else {
+                    HeapEntry::Single(side(obj, a))
+                };
+                (key, entry)
+            })
+            .collect()
+    })
+}
+
+/// Arbitrary server replies: confirmed ids, sized payload objects, join
+/// pairs and index shipments with varying cell counts.
+fn arb_reply() -> impl Strategy<Value = ServerReply> {
+    (
+        prop::collection::vec(0u32..1000, 0..10),
+        prop::collection::vec(1u32..5000, 0..10),
+        0usize..6,
+        prop::collection::vec(0usize..20, 0..8),
+    )
+        .prop_map(|(confirmed, sizes, n_pairs, cell_counts)| ServerReply {
+            confirmed: confirmed.into_iter().map(ObjectId).collect(),
+            objects: sizes
+                .into_iter()
+                .enumerate()
+                .map(|(i, size_bytes)| SpatialObject {
+                    id: ObjectId(i as u32),
+                    mbr: Rect::UNIT,
+                    size_bytes,
+                })
+                .collect(),
+            pairs: (0..n_pairs)
+                .map(|i| (ObjectId(i as u32), ObjectId(i as u32 + 1)))
+                .collect(),
+            index: cell_counts
+                .into_iter()
+                .enumerate()
+                .map(|(i, n)| NodeShipment {
+                    node: NodeId(i as u32),
+                    level: 1,
+                    parent: None,
+                    cells: vec![
+                        CellRecord {
+                            code: Code::ROOT,
+                            mbr: Rect::UNIT,
+                            kind: CellKind::Super,
+                        };
+                        n
+                    ],
+                })
+                .collect(),
+            expansions: 0,
+        })
 }
 
 /// Partial view driven by a bitmask over node ids and object ids.
@@ -262,5 +352,65 @@ proptest! {
         }
         prop_assert!(back.is_root());
         prop_assert!(back.is_prefix_of(code));
+    }
+
+    #[test]
+    fn request_envelope_wire_bytes_sum_their_parts(heap in arb_heap(), epoch in 0u64..100) {
+        let rq = RemainderQuery {
+            spec: QuerySpec::Join { dist: 0.01 },
+            already_found: 0,
+            heap,
+        };
+        let per_entry: u64 = rq
+            .heap
+            .iter()
+            .map(|(_, e)| match e {
+                HeapEntry::Single(_) => HEAP_ENTRY_BYTES,
+                HeapEntry::Pair(..) => HEAP_PAIR_BYTES,
+            })
+            .sum();
+        prop_assert_eq!(
+            Request::Remainder(rq.clone()).wire_bytes(),
+            QUERY_DESC_BYTES + per_entry
+        );
+        prop_assert_eq!(
+            Request::RemainderVersioned { query: rq, epoch }.wire_bytes(),
+            QUERY_DESC_BYTES + per_entry + EPOCH_BYTES
+        );
+    }
+
+    #[test]
+    fn response_envelope_wire_bytes_sum_their_parts(
+        reply in arb_reply(),
+        n_invalidate in 0usize..12,
+        epoch in 0u64..100,
+    ) {
+        let parts = reply.confirmed.len() as u64 * CONFIRM_BYTES
+            + reply
+                .objects
+                .iter()
+                .map(|o| OBJECT_HEADER_BYTES + o.size_bytes as u64)
+                .sum::<u64>()
+            + reply.pairs.len() as u64 * PAIR_BYTES
+            + reply
+                .index
+                .iter()
+                .map(|s| SHIPMENT_HEADER_BYTES + s.cells.len() as u64 * ENTRY_BYTES)
+                .sum::<u64>();
+        prop_assert_eq!(Response::Remainder(reply.clone()).wire_bytes(), parts);
+        let invalidate: Vec<NodeId> = (0..n_invalidate).map(|i| NodeId(i as u32)).collect();
+        prop_assert_eq!(
+            Response::Versioned(VersionedReply::Fresh {
+                reply,
+                invalidate: invalidate.clone(),
+                epoch,
+            })
+            .wire_bytes(),
+            parts + n_invalidate as u64 * INVALIDATION_BYTES + EPOCH_BYTES
+        );
+        prop_assert_eq!(
+            Response::Versioned(VersionedReply::Stale { invalidate, epoch }).wire_bytes(),
+            n_invalidate as u64 * INVALIDATION_BYTES + EPOCH_BYTES
+        );
     }
 }

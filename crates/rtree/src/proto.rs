@@ -38,6 +38,19 @@ pub const PAIR_BYTES: u64 = 8;
 pub const OBJECT_ID_BYTES: u64 = 4;
 /// Header of a per-node index shipment (node id, level, parent, count).
 pub const SHIPMENT_HEADER_BYTES: u64 = 16;
+/// A §4.3 false-miss-rate report on the uplink: the rate (8 bytes) plus the
+/// reporting-window tag.
+pub const FMR_REPORT_BYTES: u64 = 12;
+/// The server's answer to an fmr report: the resolution byte `D` (§4.3).
+pub const FMR_REPLY_BYTES: u64 = 1;
+/// A client's disconnect/forget notice (type tag only).
+pub const FORGET_BYTES: u64 = 4;
+/// The server's one-byte acknowledgement of a forget notice.
+pub const FORGET_ACK_BYTES: u64 = 1;
+/// An epoch stamp on a version-aware remainder (§7 invalidation protocol).
+pub const EPOCH_BYTES: u64 = 8;
+/// One invalidated node id piggybacked on a versioned reply.
+pub const INVALIDATION_BYTES: u64 = 8;
 
 /// A spatial query, the three types of §6.1 ("randomly selected from range,
 /// kNN, and join").
@@ -267,6 +280,186 @@ impl ServerReply {
     }
 }
 
+/// A direct (uncached) query's answer: result ids plus join pairs. The
+/// payload-vs-confirmation split is *not* decided here — clients that ship
+/// an id manifest (PAG) negotiate transmission from their own cache state —
+/// so the wire size of this reply is the id/pair lists alone.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DirectReply {
+    /// Result object ids, in confirmation (pop) order.
+    pub results: Vec<ObjectId>,
+    /// Join result pairs, canonical (`small id, large id`) order.
+    pub pairs: Vec<(ObjectId, ObjectId)>,
+    /// Server-side cell expansions (CPU accounting).
+    pub expansions: u64,
+}
+
+impl DirectReply {
+    /// Downlink bytes of the id/pair lists.
+    pub fn wire_bytes(&self) -> u64 {
+        self.results.len() as u64 * OBJECT_ID_BYTES + self.pairs.len() as u64 * PAIR_BYTES
+    }
+}
+
+/// Reply of the version-aware remainder protocol (§7 invalidation
+/// extension): every contact piggybacks the changed-node list and the
+/// current epoch; a behind-epoch resume is refused outright.
+#[derive(Clone, Debug, PartialEq)]
+pub enum VersionedReply {
+    /// The resume is valid; `invalidate` lists nodes changed since the
+    /// client's epoch (piggybacked; the client drops its stale copies).
+    Fresh {
+        reply: ServerReply,
+        invalidate: Vec<NodeId>,
+        epoch: u64,
+    },
+    /// The remainder referenced changed nodes: the client must invalidate
+    /// and re-run stage ① against its cleaned cache.
+    Stale { invalidate: Vec<NodeId>, epoch: u64 },
+}
+
+impl VersionedReply {
+    /// Downlink bytes: the inner reply (when fresh) plus the invalidation
+    /// list and the epoch stamp.
+    pub fn wire_bytes(&self) -> u64 {
+        match self {
+            VersionedReply::Fresh {
+                reply, invalidate, ..
+            } => {
+                reply.downlink_bytes() + invalidate.len() as u64 * INVALIDATION_BYTES + EPOCH_BYTES
+            }
+            VersionedReply::Stale { invalidate, .. } => {
+                invalidate.len() as u64 * INVALIDATION_BYTES + EPOCH_BYTES
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Request/reply envelopes
+// ---------------------------------------------------------------------
+
+/// Everything a client can ask the server over the 384 Kbps channel — the
+/// typed uplink surface behind the `Transport` seam (`pc_server`). Each
+/// variant sizes itself with the same per-record constants as the payload
+/// types it wraps, so the byte ledger can account control traffic (fmr
+/// reports, disconnects) exactly like query traffic.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Stage ② of Fig. 3: resume a remainder query `Qr = {Q, H}`.
+    Remainder(RemainderQuery),
+    /// A remainder stamped with the client's last-synced epoch (§7).
+    RemainderVersioned { query: RemainderQuery, epoch: u64 },
+    /// Evaluate a query from scratch (no client-side index): the PAG/SEM
+    /// protocols and the simulator's ground-truth oracle.
+    Direct(QuerySpec),
+    /// The periodic §4.3 false-miss-rate report.
+    ReportFmr { fmr: f64 },
+    /// Drop this client's adaptive state (disconnect).
+    Forget,
+}
+
+impl Request {
+    /// Uplink bytes this request occupies.
+    pub fn wire_bytes(&self) -> u64 {
+        match self {
+            Request::Remainder(rq) => rq.uplink_bytes(),
+            Request::RemainderVersioned { query, .. } => query.uplink_bytes() + EPOCH_BYTES,
+            Request::Direct(_) => QUERY_DESC_BYTES,
+            Request::ReportFmr { .. } => FMR_REPORT_BYTES,
+            Request::Forget => FORGET_BYTES,
+        }
+    }
+
+    /// Short label for traces and panic messages.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Request::Remainder(_) => "remainder",
+            Request::RemainderVersioned { .. } => "remainder-versioned",
+            Request::Direct(_) => "direct",
+            Request::ReportFmr { .. } => "report-fmr",
+            Request::Forget => "forget",
+        }
+    }
+}
+
+/// The server's answer to a [`Request`] — one variant per request variant,
+/// in the same order. A transport returning a mismatched variant is a
+/// protocol violation (the `into_*` accessors panic on it).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// Answer to [`Request::Remainder`].
+    Remainder(ServerReply),
+    /// Answer to [`Request::RemainderVersioned`].
+    Versioned(VersionedReply),
+    /// Answer to [`Request::Direct`].
+    Direct(DirectReply),
+    /// Answer to [`Request::ReportFmr`]: the resolution byte `D` (the new
+    /// d⁺-level the server will use for this client).
+    NewD(u8),
+    /// Answer to [`Request::Forget`]: whether state was tracked.
+    Forgotten(bool),
+}
+
+impl Response {
+    /// Downlink bytes this response occupies.
+    pub fn wire_bytes(&self) -> u64 {
+        match self {
+            Response::Remainder(reply) => reply.downlink_bytes(),
+            Response::Versioned(v) => v.wire_bytes(),
+            Response::Direct(d) => d.wire_bytes(),
+            Response::NewD(_) => FMR_REPLY_BYTES,
+            Response::Forgotten(_) => FORGET_ACK_BYTES,
+        }
+    }
+
+    fn violation(&self, want: &'static str) -> ! {
+        let got = match self {
+            Response::Remainder(_) => "remainder",
+            Response::Versioned(_) => "remainder-versioned",
+            Response::Direct(_) => "direct",
+            Response::NewD(_) => "report-fmr",
+            Response::Forgotten(_) => "forget",
+        };
+        panic!("transport protocol violation: expected a {want} response, got {got}")
+    }
+
+    pub fn into_remainder(self) -> ServerReply {
+        match self {
+            Response::Remainder(reply) => reply,
+            other => other.violation("remainder"),
+        }
+    }
+
+    pub fn into_versioned(self) -> VersionedReply {
+        match self {
+            Response::Versioned(v) => v,
+            other => other.violation("remainder-versioned"),
+        }
+    }
+
+    pub fn into_direct(self) -> DirectReply {
+        match self {
+            Response::Direct(d) => d,
+            other => other.violation("direct"),
+        }
+    }
+
+    pub fn into_new_d(self) -> u8 {
+        match self {
+            Response::NewD(d) => d,
+            other => other.violation("report-fmr"),
+        }
+    }
+
+    pub fn into_forgotten(self) -> bool {
+        match self {
+            Response::Forgotten(b) => b,
+            other => other.violation("forget"),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -370,5 +563,111 @@ mod tests {
                 + PAIR_BYTES
                 + (SHIPMENT_HEADER_BYTES + 3 * ENTRY_BYTES)
         );
+    }
+
+    fn sample_remainder() -> RemainderQuery {
+        let side = Side::Cell {
+            cell: CellRef::node_root(NodeId(1)),
+            mbr: Rect::UNIT,
+        };
+        RemainderQuery {
+            spec: QuerySpec::Join { dist: 0.1 },
+            already_found: 0,
+            heap: vec![
+                (0.0, HeapEntry::Single(side)),
+                (0.1, HeapEntry::Pair(side, side)),
+            ],
+        }
+    }
+
+    #[test]
+    fn request_envelopes_size_like_their_payloads() {
+        let rq = sample_remainder();
+        assert_eq!(
+            Request::Remainder(rq.clone()).wire_bytes(),
+            rq.uplink_bytes()
+        );
+        assert_eq!(
+            Request::RemainderVersioned {
+                query: rq.clone(),
+                epoch: 3
+            }
+            .wire_bytes(),
+            rq.uplink_bytes() + EPOCH_BYTES
+        );
+        assert_eq!(
+            Request::Direct(QuerySpec::Join { dist: 0.1 }).wire_bytes(),
+            QUERY_DESC_BYTES
+        );
+        assert_eq!(
+            Request::ReportFmr { fmr: 0.5 }.wire_bytes(),
+            FMR_REPORT_BYTES
+        );
+        assert_eq!(Request::Forget.wire_bytes(), FORGET_BYTES);
+    }
+
+    #[test]
+    fn response_envelopes_size_like_their_payloads() {
+        let reply = ServerReply {
+            confirmed: vec![ObjectId(1)],
+            objects: vec![SpatialObject {
+                id: ObjectId(2),
+                mbr: Rect::UNIT,
+                size_bytes: 500,
+            }],
+            ..Default::default()
+        };
+        assert_eq!(
+            Response::Remainder(reply.clone()).wire_bytes(),
+            reply.downlink_bytes()
+        );
+        let fresh = VersionedReply::Fresh {
+            reply: reply.clone(),
+            invalidate: vec![NodeId(4), NodeId(5)],
+            epoch: 9,
+        };
+        assert_eq!(
+            Response::Versioned(fresh).wire_bytes(),
+            reply.downlink_bytes() + 2 * INVALIDATION_BYTES + EPOCH_BYTES
+        );
+        let stale = VersionedReply::Stale {
+            invalidate: vec![NodeId(4)],
+            epoch: 9,
+        };
+        assert_eq!(
+            Response::Versioned(stale).wire_bytes(),
+            INVALIDATION_BYTES + EPOCH_BYTES
+        );
+        let direct = DirectReply {
+            results: vec![ObjectId(1), ObjectId(2), ObjectId(3)],
+            pairs: vec![(ObjectId(1), ObjectId(2))],
+            expansions: 0,
+        };
+        assert_eq!(
+            Response::Direct(direct).wire_bytes(),
+            3 * OBJECT_ID_BYTES + PAIR_BYTES
+        );
+        assert_eq!(Response::NewD(3).wire_bytes(), FMR_REPLY_BYTES);
+        assert_eq!(Response::Forgotten(true).wire_bytes(), FORGET_ACK_BYTES);
+    }
+
+    #[test]
+    fn response_accessors_unwrap_matching_variants() {
+        assert_eq!(Response::NewD(5).into_new_d(), 5);
+        assert!(Response::Forgotten(true).into_forgotten());
+        assert_eq!(
+            Response::Direct(DirectReply::default()).into_direct(),
+            DirectReply::default()
+        );
+        assert_eq!(
+            Response::Remainder(ServerReply::default()).into_remainder(),
+            ServerReply::default()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "transport protocol violation")]
+    fn mismatched_response_variant_panics() {
+        Response::NewD(1).into_remainder();
     }
 }

@@ -11,15 +11,29 @@
 //! [`AdaptiveController`] for the per-client §4.3 state. One server
 //! instance serves a whole fleet of concurrent clients; only data updates
 //! ([`Server::apply_updates`]) need `&mut`.
+//!
+//! Protocol boundary: all client traffic travels as typed
+//! `Request`/`Response` envelopes (`pc_rtree::proto`) over a [`Transport`]
+//! — [`InProcess`] (or a bare `&Server`) dispatches straight into the
+//! concrete methods, while [`BatchedService`] coalesces concurrently
+//! arriving remainder queries per shard before executing them against the
+//! shared [`ServerCore`]. Simulation drivers hold a [`ServerHandle`]
+//! (transport + shared-core metadata) instead of a concrete `&Server`.
 
 mod adaptive;
 mod core;
 mod forms;
 mod server;
+pub mod service;
+#[cfg(test)]
+mod test_util;
+pub mod transport;
 pub mod updates;
 
 pub use adaptive::{AdaptiveController, AdaptiveState};
 pub use core::ServerCore;
 pub use forms::{build_shipments, FormMode};
 pub use server::{ClientId, FormPolicy, Server, ServerConfig};
+pub use service::{BatchConfig, BatchedService, ServiceStats};
+pub use transport::{InProcess, ServerHandle, Transport};
 pub use updates::{Update, UpdateLog, VersionedReply};

@@ -126,16 +126,23 @@ impl Server {
         self.core.direct(spec)
     }
 
+    /// The form mode this server would build `Ir` in for `client` right
+    /// now — the per-client policy half of `process_remainder`, split out
+    /// so batched/remote services can execute resumes directly against the
+    /// shared [`ServerCore`].
+    pub fn remainder_mode(&self, client: ClientId) -> FormMode {
+        match self.cfg.form {
+            FormPolicy::Full => FormMode::Full,
+            FormPolicy::Compact => FormMode::COMPACT,
+            FormPolicy::Adaptive => FormMode::DLevel(self.adaptive.d(client)),
+        }
+    }
+
     /// Stage ② of Fig. 3: resumes `Qr` from its heap, assembles `Rr`
     /// (splitting confirmed-cached results from transmitted ones) and the
     /// supporting index `Ir` in this server's form for this client.
     pub fn process_remainder(&self, client: ClientId, rq: &RemainderQuery) -> ServerReply {
-        let mode = match self.cfg.form {
-            FormPolicy::Full => FormMode::Full,
-            FormPolicy::Compact => FormMode::COMPACT,
-            FormPolicy::Adaptive => FormMode::DLevel(self.adaptive.d(client)),
-        };
-        self.core.resume_remainder(rq, mode)
+        self.core.resume_remainder(rq, self.remainder_mode(client))
     }
 
     /// Receives a client's periodic fmr report (§4.3); returns the new d.
@@ -168,56 +175,11 @@ impl Server {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::test_util::{cold_remainder, sample_server};
     use pc_geom::{Point, Rect};
     use pc_rtree::naive;
-    use pc_rtree::proto::{HeapEntry, Side};
-    use pc_rtree::{ObjectId, SpatialObject};
-    use rand::rngs::SmallRng;
-    use rand::{Rng, SeedableRng};
+    use pc_rtree::ObjectId;
     use std::sync::Arc;
-
-    fn sample_server(n: usize, seed: u64, form: FormPolicy) -> Server {
-        let mut rng = SmallRng::seed_from_u64(seed);
-        let objects: Vec<SpatialObject> = (0..n)
-            .map(|i| SpatialObject {
-                id: ObjectId(i as u32),
-                mbr: Rect::from_point(Point::new(
-                    rng.random_range(0.0..1.0),
-                    rng.random_range(0.0..1.0),
-                )),
-                size_bytes: rng.random_range(100..2000),
-            })
-            .collect();
-        let store = ObjectStore::new(objects);
-        Server::new(
-            store,
-            RTreeConfig::small(),
-            ServerConfig {
-                form,
-                ..Default::default()
-            },
-        )
-    }
-
-    /// A cold-cache remainder: just the root cell (or root pair for joins).
-    fn cold_remainder(server: &Server, spec: QuerySpec) -> RemainderQuery {
-        let root = server.tree().root();
-        let mbr = server.tree().root_mbr().unwrap();
-        let side = Side::Cell {
-            cell: pc_rtree::proto::CellRef::node_root(root),
-            mbr,
-        };
-        let entry = if spec.is_join() {
-            HeapEntry::Pair(side, side)
-        } else {
-            HeapEntry::Single(side)
-        };
-        RemainderQuery {
-            spec,
-            already_found: 0,
-            heap: vec![(spec.key_for(&mbr), entry)],
-        }
-    }
 
     #[test]
     fn server_is_send_sync() {

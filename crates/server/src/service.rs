@@ -1,0 +1,354 @@
+//! A batched remainder service in front of the server: concurrently
+//! arriving [`Request::Remainder`] calls from a fleet are coalesced per
+//! shard (bounded queue, flush threshold) and executed against the shared
+//! [`ServerCore`] in one pass, amortizing dispatch — one flusher's warm
+//! tree/BPT walk serves its whole batch back-to-back while later arrivals
+//! queue up behind it instead of contending on the core.
+//!
+//! The scheme is flat combining: an uncontended caller (empty shard, no
+//! flush running) executes inline as a batch of one; otherwise callers
+//! enqueue, and the first to find no flush in progress drains up to
+//! [`BatchConfig::max_batch`] queued requests in FIFO order, resumes them
+//! all, delivers each reply to its waiter and wakes the shard. Callers
+//! arriving mid-flush enqueue and wait; whoever wakes unserved becomes
+//! the next flusher. With a single client every batch has size one, so
+//! the service is *bit-identical* to direct dispatch — pinned by
+//! `tests/fleet.rs`.
+//!
+//! Batching never changes an answer: remainder resumption is a pure read
+//! of the immutable core, and each request's form mode (the only
+//! per-client input) is resolved at *call* time — exactly when direct
+//! dispatch would read it — and carried through the queue, so a
+//! concurrent fmr report or LRU eviction between enqueue and flush cannot
+//! alter the reply.
+//!
+//! Control traffic (fmr reports, forgets, direct and versioned queries)
+//! passes straight through to the in-process dispatch path — it is cheap,
+//! latency-sensitive and, for versioned remainders, epoch-ordering
+//! matters.
+
+use crate::server::{ClientId, Server};
+use crate::transport::{dispatch, ServerHandle, Transport};
+use crate::{FormMode, ServerCore};
+use pc_rtree::proto::{RemainderQuery, Request, Response, ServerReply};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Batching knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchConfig {
+    /// Independent queues; clients spread across them by the same
+    /// multiplicative hash as the adaptive controller's shards.
+    pub shards: usize,
+    /// Flush threshold: a flusher drains at most this many requests per
+    /// pass (its own included).
+    pub max_batch: usize,
+    /// Bounded-queue capacity per shard; arrivals beyond it block until
+    /// the queue drains (backpressure, never rejection).
+    pub queue_cap: usize,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            shards: 8,
+            max_batch: 16,
+            queue_cap: 64,
+        }
+    }
+}
+
+/// What the service has flushed so far.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Batches executed.
+    pub batches: u64,
+    /// Remainder requests served through batches.
+    pub batched_requests: u64,
+    /// Largest batch observed.
+    pub max_batch: u64,
+}
+
+impl ServiceStats {
+    /// Mean requests per flush (1.0 = no coalescing happened).
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batched_requests as f64 / self.batches as f64
+        }
+    }
+}
+
+/// One queued remainder waiting for a flusher.
+struct Pending {
+    rq: RemainderQuery,
+    /// Form mode resolved at call time (direct-dispatch semantics); the
+    /// flusher must not re-read adaptive state, which may have moved.
+    mode: FormMode,
+    slot: Arc<Mutex<Option<ServerReply>>>,
+}
+
+#[derive(Default)]
+struct ShardQueue {
+    pending: VecDeque<Pending>,
+    flushing: bool,
+}
+
+struct Shard {
+    queue: Mutex<ShardQueue>,
+    /// Signals both "a flush delivered replies" and "queue space freed".
+    wake: Condvar,
+}
+
+/// The batched remainder front-end. Implements [`ServerHandle`], so a
+/// fleet runs against it exactly as it runs against a bare `&Server`.
+pub struct BatchedService<'a> {
+    server: &'a Server,
+    cfg: BatchConfig,
+    shards: Vec<Shard>,
+    batches: AtomicU64,
+    batched_requests: AtomicU64,
+    max_batch_seen: AtomicU64,
+}
+
+impl<'a> BatchedService<'a> {
+    pub fn new(server: &'a Server, cfg: BatchConfig) -> Self {
+        assert!(cfg.shards > 0, "need at least one shard");
+        assert!(cfg.max_batch > 0, "flush threshold must be positive");
+        assert!(
+            cfg.queue_cap >= cfg.max_batch,
+            "queue must hold at least one full batch"
+        );
+        BatchedService {
+            server,
+            cfg,
+            shards: (0..cfg.shards)
+                .map(|_| Shard {
+                    queue: Mutex::new(ShardQueue::default()),
+                    wake: Condvar::new(),
+                })
+                .collect(),
+            batches: AtomicU64::new(0),
+            batched_requests: AtomicU64::new(0),
+            max_batch_seen: AtomicU64::new(0),
+        }
+    }
+
+    /// With the default knobs.
+    pub fn over(server: &'a Server) -> Self {
+        BatchedService::new(server, BatchConfig::default())
+    }
+
+    pub fn config(&self) -> &BatchConfig {
+        &self.cfg
+    }
+
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            batches: self.batches.load(Ordering::Relaxed),
+            batched_requests: self.batched_requests.load(Ordering::Relaxed),
+            max_batch: self.max_batch_seen.load(Ordering::Relaxed),
+        }
+    }
+
+    fn shard(&self, client: ClientId) -> &Shard {
+        let i = (client as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+        &self.shards[(i % self.shards.len() as u64) as usize]
+    }
+
+    fn note_batch(&self, len: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_requests
+            .fetch_add(len as u64, Ordering::Relaxed);
+        self.max_batch_seen.fetch_max(len as u64, Ordering::Relaxed);
+    }
+
+    fn batched_remainder(&self, client: ClientId, rq: RemainderQuery) -> Response {
+        let shard = self.shard(client);
+        let mode = self.server.remainder_mode(client);
+        let mut q = shard.queue.lock().unwrap();
+        while q.pending.len() >= self.cfg.queue_cap {
+            q = shard.wake.wait(q).unwrap();
+        }
+        if q.pending.is_empty() && !q.flushing {
+            // Uncontended fast path: nothing queued to coalesce with, so
+            // execute inline as a batch of one, skipping the slot and
+            // queue churn. Claiming the flusher role (rather than just
+            // running) is what makes coalescing work at all: arrivals
+            // during this execution see `flushing` and enqueue, and
+            // whichever wakes unserved flushes them as one batch.
+            q.flushing = true;
+            drop(q);
+            self.note_batch(1);
+            let reply = self.server.core().resume_remainder(&rq, mode);
+            let mut q = shard.queue.lock().unwrap();
+            q.flushing = false;
+            drop(q);
+            shard.wake.notify_all();
+            return Response::Remainder(reply);
+        }
+        let slot = Arc::new(Mutex::new(None));
+        q.pending.push_back(Pending {
+            rq,
+            mode,
+            slot: Arc::clone(&slot),
+        });
+        loop {
+            if let Some(reply) = slot.lock().unwrap().take() {
+                return Response::Remainder(reply);
+            }
+            if q.flushing {
+                q = shard.wake.wait(q).unwrap();
+                continue;
+            }
+            // Become the flusher and drain up to max_batch in FIFO order.
+            // Our own request may or may not make this batch (more than
+            // max_batch entries can sit ahead of it after a long flush);
+            // either way the loop re-checks the slot and re-flushes until
+            // it is served, so replies only ever travel through slots.
+            q.flushing = true;
+            let n = q.pending.len().min(self.cfg.max_batch);
+            let batch: Vec<Pending> = q.pending.drain(..n).collect();
+            drop(q);
+            // Freed queue space: unblock anyone parked on the cap.
+            shard.wake.notify_all();
+
+            self.note_batch(batch.len());
+
+            // Execute the whole batch against the shared core, lock-free.
+            for p in batch {
+                let reply = self.server.core().resume_remainder(&p.rq, p.mode);
+                *p.slot.lock().unwrap() = Some(reply);
+            }
+
+            q = shard.queue.lock().unwrap();
+            q.flushing = false;
+            shard.wake.notify_all();
+        }
+    }
+}
+
+impl Transport for BatchedService<'_> {
+    fn call(&self, client: ClientId, req: Request) -> Response {
+        match req {
+            Request::Remainder(rq) => self.batched_remainder(client, rq),
+            other => dispatch(self.server, client, other),
+        }
+    }
+}
+
+impl ServerHandle for BatchedService<'_> {
+    fn core(&self) -> &ServerCore {
+        self.server.core()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{FormPolicy, ServerConfig};
+    use crate::test_util::{cold_remainder, sample_server};
+    use pc_geom::{Point, Rect};
+    use pc_rtree::proto::QuerySpec;
+
+    #[test]
+    fn service_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<BatchedService<'static>>();
+    }
+
+    #[test]
+    fn single_caller_batches_of_one_match_direct_dispatch() {
+        let server = sample_server(300, 1, FormPolicy::Adaptive);
+        let service = BatchedService::over(&server);
+        for i in 0..8u32 {
+            let w = Rect::centered_square(Point::new(0.3 + 0.05 * i as f64, 0.5), 0.25);
+            let rq = cold_remainder(&server, QuerySpec::Range { window: w });
+            let batched = service
+                .call(i, Request::Remainder(rq.clone()))
+                .into_remainder();
+            let direct = server.process_remainder(i, &rq);
+            assert_eq!(batched, direct);
+        }
+        let stats = service.stats();
+        assert_eq!(stats.batches, 8);
+        assert_eq!(stats.batched_requests, 8);
+        assert_eq!(stats.max_batch, 1, "no concurrency, no coalescing");
+    }
+
+    #[test]
+    fn concurrent_callers_get_direct_answers_and_coalesce() {
+        // All clients on one shard so coalescing has a chance to happen;
+        // every reply must still equal the direct dispatch answer.
+        let server = sample_server(400, 2, FormPolicy::Adaptive);
+        let service = BatchedService::new(
+            &server,
+            BatchConfig {
+                shards: 1,
+                max_batch: 8,
+                queue_cap: 64,
+            },
+        );
+        let rounds = 16u32;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8u32)
+                .map(|client| {
+                    let service = &service;
+                    let server = &server;
+                    scope.spawn(move || {
+                        for r in 0..rounds {
+                            let w = Rect::centered_square(
+                                Point::new(
+                                    0.1 + 0.1 * client as f64 % 0.8,
+                                    0.1 + 0.05 * r as f64 % 0.8,
+                                ),
+                                0.2,
+                            );
+                            let rq = cold_remainder(server, QuerySpec::Range { window: w });
+                            let got = service
+                                .call(client, Request::Remainder(rq.clone()))
+                                .into_remainder();
+                            let want = server.process_remainder(client, &rq);
+                            assert_eq!(got, want, "client {client} round {r}");
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+        let stats = service.stats();
+        assert_eq!(stats.batched_requests, 8 * rounds as u64);
+        assert!(stats.batches > 0);
+        assert!(stats.max_batch <= 8, "flush threshold respected");
+    }
+
+    #[test]
+    fn control_traffic_passes_through() {
+        let server = sample_server(100, 3, FormPolicy::Adaptive);
+        let service = BatchedService::over(&server);
+        assert_eq!(
+            service
+                .call(5, Request::ReportFmr { fmr: 0.4 })
+                .into_new_d(),
+            ServerConfig::default().initial_d
+        );
+        assert_eq!(server.tracked_clients(), 1);
+        assert!(service.call(5, Request::Forget).into_forgotten());
+        assert_eq!(server.tracked_clients(), 0);
+        let d = service
+            .call(
+                5,
+                Request::Direct(QuerySpec::Knn {
+                    center: Point::new(0.5, 0.5),
+                    k: 3,
+                }),
+            )
+            .into_direct();
+        assert_eq!(d.results.len(), 3);
+        assert_eq!(service.stats().batches, 0, "none of that was batched");
+    }
+}

@@ -1,0 +1,55 @@
+//! Shared fixtures for this crate's unit tests: a seeded random server
+//! and a cold-cache remainder (just the root cell, or the root pair for
+//! joins) — the starting point of every stage-② scenario.
+
+use crate::server::{FormPolicy, Server, ServerConfig};
+use pc_geom::{Point, Rect};
+use pc_rtree::proto::{CellRef, HeapEntry, QuerySpec, RemainderQuery, Side};
+use pc_rtree::{ObjectId, ObjectStore, RTreeConfig, SpatialObject};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// `n` uniformly placed point objects with random payload sizes, indexed
+/// under the small tree configuration.
+pub fn sample_server(n: usize, seed: u64, form: FormPolicy) -> Server {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let objects: Vec<SpatialObject> = (0..n)
+        .map(|i| SpatialObject {
+            id: ObjectId(i as u32),
+            mbr: Rect::from_point(Point::new(
+                rng.random_range(0.0..1.0),
+                rng.random_range(0.0..1.0),
+            )),
+            size_bytes: rng.random_range(100..2000),
+        })
+        .collect();
+    Server::new(
+        ObjectStore::new(objects),
+        RTreeConfig::small(),
+        ServerConfig {
+            form,
+            ..Default::default()
+        },
+    )
+}
+
+/// A cold-cache remainder: the whole query state is the root cell (or the
+/// root pair for joins).
+pub fn cold_remainder(server: &Server, spec: QuerySpec) -> RemainderQuery {
+    let root = server.tree().root();
+    let mbr = server.tree().root_mbr().unwrap();
+    let side = Side::Cell {
+        cell: CellRef::node_root(root),
+        mbr,
+    };
+    let entry = if spec.is_join() {
+        HeapEntry::Pair(side, side)
+    } else {
+        HeapEntry::Single(side)
+    };
+    RemainderQuery {
+        spec,
+        already_found: 0,
+        heap: vec![(spec.key_for(&mbr), entry)],
+    }
+}

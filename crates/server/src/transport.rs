@@ -1,0 +1,204 @@
+//! The client ↔ server boundary as a first-class API: a [`Transport`]
+//! carries typed [`Request`]/[`Response`] envelopes between a client (by
+//! id) and *some* server — in-process today, batched ([`crate::service`])
+//! or remote tomorrow — and a [`ServerHandle`] is a transport that also
+//! exposes the shared immutable [`ServerCore`] (dataset + index metadata
+//! that both ends of the paper's Fig. 3 know out of band: the client's
+//! catalog is bootstrapped from it, and the simulator reads ground-truth
+//! object sizes from it).
+//!
+//! The split matters: *control and query traffic* (remainder queries, fmr
+//! reports, disconnects) must go through [`Transport::call`] so every byte
+//! can be accounted on the 384 Kbps channel, while *shared metadata reads*
+//! go through [`ServerHandle::core`] and cost nothing — exactly the
+//! distinction the byte ledger draws.
+
+use crate::server::{ClientId, Server};
+use crate::ServerCore;
+use pc_rtree::proto::{DirectReply, Request, Response};
+
+/// A synchronous request/reply channel to a server. `Send + Sync` so one
+/// transport instance can serve a whole fleet of concurrent clients.
+pub trait Transport: Send + Sync {
+    /// Submits one request on behalf of `client` and blocks for the reply.
+    /// Implementations must answer with the response variant matching the
+    /// request variant (see [`Response`]'s accessors).
+    fn call(&self, client: ClientId, req: Request) -> Response;
+}
+
+/// A [`Transport`] that also exposes the shared immutable query core —
+/// what simulation drivers hold instead of a concrete `&Server`.
+pub trait ServerHandle: Transport {
+    /// The shared dataset + index core (metadata reads, not traffic).
+    fn core(&self) -> &ServerCore;
+}
+
+/// Dispatches one envelope against a concrete [`Server`] — the single
+/// point where the wire protocol meets the server's method surface. Every
+/// in-process transport (including the batched service's pass-through
+/// path) funnels through here, so protocol/method equivalence is testable
+/// in one place.
+pub(crate) fn dispatch(server: &Server, client: ClientId, req: Request) -> Response {
+    match req {
+        Request::Remainder(rq) => Response::Remainder(server.process_remainder(client, &rq)),
+        Request::RemainderVersioned { query, epoch } => {
+            Response::Versioned(server.process_remainder_versioned(client, &query, epoch))
+        }
+        Request::Direct(spec) => {
+            let outcome = server.direct(&spec);
+            Response::Direct(DirectReply {
+                results: outcome.results.iter().map(|&(id, _)| id).collect(),
+                pairs: outcome.result_pairs,
+                expansions: outcome.expansions,
+            })
+        }
+        Request::ReportFmr { fmr } => Response::NewD(server.report_fmr(client, fmr)),
+        Request::Forget => Response::Forgotten(server.forget_client(client)),
+    }
+}
+
+/// The in-process fast path: `Server` is itself a transport, dispatching
+/// envelopes straight into its concrete methods with no queueing.
+impl Transport for Server {
+    fn call(&self, client: ClientId, req: Request) -> Response {
+        dispatch(self, client, req)
+    }
+}
+
+impl ServerHandle for Server {
+    fn core(&self) -> &ServerCore {
+        Server::core(self)
+    }
+}
+
+/// An explicit in-process transport over a borrowed [`Server`] — the
+/// canonical `Transport` implementation. Functionally identical to using
+/// `&Server` directly; exists so call sites can name the transport they
+/// hold (and swap it for a batched or remote one without retyping).
+#[derive(Clone, Copy, Debug)]
+pub struct InProcess<'a> {
+    server: &'a Server,
+}
+
+impl<'a> InProcess<'a> {
+    pub fn new(server: &'a Server) -> Self {
+        InProcess { server }
+    }
+
+    pub fn server(&self) -> &'a Server {
+        self.server
+    }
+}
+
+impl Transport for InProcess<'_> {
+    fn call(&self, client: ClientId, req: Request) -> Response {
+        dispatch(self.server, client, req)
+    }
+}
+
+impl ServerHandle for InProcess<'_> {
+    fn core(&self) -> &ServerCore {
+        self.server.core()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::FormPolicy;
+    use crate::test_util::{cold_remainder, sample_server};
+    use pc_geom::{Point, Rect};
+    use pc_rtree::proto::{QuerySpec, VersionedReply};
+    use pc_rtree::ObjectId;
+    use proptest::prelude::*;
+
+    #[test]
+    fn handles_are_object_safe_and_send_sync() {
+        fn assert_send_sync<T: Send + Sync + ?Sized>() {}
+        assert_send_sync::<dyn Transport>();
+        assert_send_sync::<dyn ServerHandle>();
+        assert_send_sync::<InProcess<'_>>();
+        // `&Server` coerces to a handle at call sites.
+        let server = sample_server(50, 1, FormPolicy::Adaptive);
+        let handle: &dyn ServerHandle = &server;
+        assert_eq!(handle.core().store().len(), 50);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Each `Request` variant dispatched through `InProcess` must be
+        /// outcome-identical to the corresponding direct `Server` method.
+        #[test]
+        fn in_process_dispatch_equals_direct_methods(
+            seed in 0u64..1000,
+            client in 0u32..8,
+            which in 0u8..3,
+            cx in 0.1f64..0.9, cy in 0.1f64..0.9,
+            k in 1u32..6,
+            fmr_a in 0.0f64..1.0, fmr_b in 0.0f64..1.0,
+        ) {
+            let spec = match which {
+                0 => QuerySpec::Range {
+                    window: Rect::centered_square(Point::new(cx, cy), 0.2),
+                },
+                1 => QuerySpec::Knn { center: Point::new(cx, cy), k },
+                _ => QuerySpec::Join { dist: 0.02 },
+            };
+
+            // Two identical servers: one driven through the transport, one
+            // through bare methods.
+            let via_transport = sample_server(150, seed, FormPolicy::Adaptive);
+            let via_methods = sample_server(150, seed, FormPolicy::Adaptive);
+            let t = InProcess::new(&via_transport);
+
+            // Remainder.
+            let rq = cold_remainder(&via_methods, spec);
+            let a = t.call(client, Request::Remainder(rq.clone())).into_remainder();
+            let b = via_methods.process_remainder(client, &rq);
+            prop_assert_eq!(a, b);
+
+            // Versioned remainder (epoch 0 == current: always fresh).
+            let a = t
+                .call(client, Request::RemainderVersioned { query: rq.clone(), epoch: 0 })
+                .into_versioned();
+            match (a, via_methods.process_remainder_versioned(client, &rq, 0)) {
+                (
+                    VersionedReply::Fresh { reply: ra, invalidate: ia, epoch: ea },
+                    VersionedReply::Fresh { reply: rb, invalidate: ib, epoch: eb },
+                ) => {
+                    prop_assert_eq!(ra, rb);
+                    prop_assert_eq!(ia, ib);
+                    prop_assert_eq!(ea, eb);
+                }
+                (a, b) => prop_assert!(false, "variant mismatch: {:?} vs {:?}", a, b),
+            }
+
+            // Direct.
+            let a = t.call(client, Request::Direct(spec)).into_direct();
+            let b = via_methods.direct(&spec);
+            let b_ids: Vec<ObjectId> = b.results.iter().map(|&(id, _)| id).collect();
+            prop_assert_eq!(a.results, b_ids);
+            prop_assert_eq!(a.pairs, b.result_pairs);
+            prop_assert_eq!(a.expansions, b.expansions);
+
+            // Fmr reports move the same adaptive trajectory.
+            let a1 = t.call(client, Request::ReportFmr { fmr: fmr_a }).into_new_d();
+            let b1 = via_methods.report_fmr(client, fmr_a);
+            prop_assert_eq!(a1, b1);
+            let a2 = t.call(client, Request::ReportFmr { fmr: fmr_b }).into_new_d();
+            let b2 = via_methods.report_fmr(client, fmr_b);
+            prop_assert_eq!(a2, b2);
+
+            // Forget drops exactly what the method drops.
+            prop_assert_eq!(
+                t.call(client, Request::Forget).into_forgotten(),
+                via_methods.forget_client(client)
+            );
+            prop_assert_eq!(
+                via_transport.tracked_clients(),
+                via_methods.tracked_clients()
+            );
+        }
+    }
+}

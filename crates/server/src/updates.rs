@@ -20,7 +20,11 @@
 
 use crate::server::{ClientId, Server};
 use pc_geom::Rect;
-use pc_rtree::proto::{RemainderQuery, ServerReply};
+use pc_rtree::proto::RemainderQuery;
+/// Re-exported from the wire protocol (`pc_rtree::proto`), where the
+/// [`Request::RemainderVersioned`](pc_rtree::proto::Request) envelope
+/// carries it.
+pub use pc_rtree::proto::VersionedReply;
 use pc_rtree::{NodeId, ObjectId, SpatialObject};
 use std::collections::HashMap;
 
@@ -33,21 +37,6 @@ pub enum Update {
     Delete(ObjectId),
     /// An object relocates.
     Move { id: ObjectId, to: Rect },
-}
-
-/// Reply of the version-aware remainder protocol.
-#[derive(Clone, Debug)]
-pub enum VersionedReply {
-    /// The resume is valid; `invalidate` lists nodes changed since the
-    /// client's epoch (piggybacked; the client drops its stale copies).
-    Fresh {
-        reply: ServerReply,
-        invalidate: Vec<NodeId>,
-        epoch: u64,
-    },
-    /// The remainder referenced changed nodes: the client must invalidate
-    /// and re-run stage ① against its cleaned cache.
-    Stale { invalidate: Vec<NodeId>, epoch: u64 },
 }
 
 /// Update/invalidation state bolted onto a [`Server`].

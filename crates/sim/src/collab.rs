@@ -214,7 +214,8 @@ pub struct CollabOutcome {
 }
 
 /// Runs one query for `clients[origin]`, consulting peers within `radius`
-/// (nearest first, at most `max_peers`) before falling back to the server.
+/// (nearest first, at most `max_peers`) before falling back to the server
+/// (through its transport, like any remainder).
 #[allow(clippy::too_many_arguments)]
 pub fn query_with_peers(
     clients: &mut [pc_client::Client],
@@ -222,7 +223,7 @@ pub fn query_with_peers(
     origin: usize,
     radius: f64,
     max_peers: usize,
-    server: &pc_server::Server,
+    server: &dyn pc_server::ServerHandle,
     spec: &pc_rtree::proto::QuerySpec,
     channels: (&Channel, &Channel), // (local, remote)
     server_time_s: f64,
@@ -243,7 +244,7 @@ pub fn query_with_peers(
     let mut seen: HashSet<ObjectId> = objects.iter().copied().collect();
 
     // Byte-weighted response bookkeeping: saved bytes answer at t = 0.
-    let obj_bytes = |id: ObjectId| server.store().get(id).size_bytes as u64;
+    let obj_bytes = |id: ObjectId| server.core().store().get(id).size_bytes as u64;
     let mut weighted = 0.0;
     let mut total_result_bytes: u64 = objects.iter().map(|&o| obj_bytes(o)).sum();
     let mut t = 0.0;
@@ -297,7 +298,12 @@ pub fn query_with_peers(
 
     if let Some(rq) = &rem {
         out.server_contacted = true;
-        let reply = server.process_remainder(0, rq);
+        let reply = server
+            .call(
+                origin as u32,
+                pc_rtree::proto::Request::Remainder(rq.clone()),
+            )
+            .into_remainder();
         out.remote_bytes += rq.uplink_bytes() + reply.downlink_bytes();
         t += remote_ch.transfer_s(rq.uplink_bytes()) + server_time_s;
         t += remote_ch.transfer_s(reply.confirmed.len() as u64 * 8);

@@ -1,14 +1,15 @@
 //! The multi-client fleet driver: N [`ClientSession`]s against one shared
-//! `&Server`, spread over scoped worker threads. Sessions are seeded per
-//! client id and never share mutable state (the server's read path is
-//! `&self`, its adaptive table is per-client), so a concurrent fleet run
-//! produces exactly the per-client metrics of the same sessions run
-//! sequentially — only wall-clock CPU timings differ.
+//! [`ServerHandle`] — a bare `&Server`, an `InProcess` transport, or the
+//! batched remainder service — spread over scoped worker threads. Sessions
+//! are seeded per client id and never share mutable state (the server's
+//! read path is `&self`, its adaptive table is per-client), so a
+//! concurrent fleet run produces exactly the per-client metrics of the
+//! same sessions run sequentially — only wall-clock CPU timings differ.
 
 use crate::config::SimConfig;
 use crate::metrics::SimResult;
 use crate::session::ClientSession;
-use pc_server::{ClientId, Server};
+use pc_server::{ClientId, ServerHandle};
 use std::time::Instant;
 
 /// Builder/driver for a fleet of concurrent client sessions.
@@ -93,8 +94,8 @@ impl Fleet {
 
     /// Runs the fleet concurrently on scoped threads: client ids are dealt
     /// round-robin to workers, each worker drives its sessions to
-    /// completion against the shared server.
-    pub fn run(&self, server: &Server) -> FleetResult {
+    /// completion against the shared server handle.
+    pub fn run(&self, server: &dyn ServerHandle) -> FleetResult {
         let start = Instant::now();
         let workers = self.effective_threads();
         let cfg = self.cfg;
@@ -123,7 +124,7 @@ impl Fleet {
 
     /// Runs the same sessions one after another on the calling thread —
     /// the reference for the concurrency-determinism tests.
-    pub fn run_sequential(&self, server: &Server) -> FleetResult {
+    pub fn run_sequential(&self, server: &dyn ServerHandle) -> FleetResult {
         let start = Instant::now();
         let results = (0..self.clients)
             .map(|id| (id, ClientSession::new(&self.cfg, server, id).run(server)))

@@ -1,5 +1,9 @@
 //! Model adapters: one uniform interface over PAG, SEM and the proactive
-//! client so the simulation loop is model-agnostic.
+//! client so the simulation loop is model-agnostic. Runners never touch a
+//! concrete `Server` — every byte that crosses the client/server boundary
+//! travels as a `Request`/`Response` envelope through the
+//! [`ServerHandle`]'s transport, so swapping the in-process path for the
+//! batched service (or a real network) is invisible to them.
 
 use crate::config::{CacheModel, SimConfig};
 use pc_baselines::{PageCache, SemanticCache};
@@ -7,9 +11,9 @@ use pc_cache::Catalog;
 use pc_client::Client;
 use pc_geom::Point;
 use pc_net::Ledger;
-use pc_rtree::proto::{QuerySpec, CONFIRM_BYTES, OBJECT_HEADER_BYTES, PAIR_BYTES};
+use pc_rtree::proto::{QuerySpec, Request, CONFIRM_BYTES, OBJECT_HEADER_BYTES, PAIR_BYTES};
 use pc_rtree::ObjectId;
-use pc_server::{ClientId, Server};
+use pc_server::{ClientId, ServerHandle};
 use std::time::Instant;
 
 /// What one query produced, regardless of model.
@@ -33,7 +37,7 @@ pub struct RunOutput {
 pub trait ModelRunner: Send {
     fn run_query(
         &mut self,
-        server: &Server,
+        server: &dyn ServerHandle,
         spec: &QuerySpec,
         pos: Point,
         server_time_s: f64,
@@ -46,20 +50,26 @@ pub trait ModelRunner: Send {
 /// Builds the runner for one client of a configuration.
 pub(crate) fn make_runner(
     cfg: &SimConfig,
-    server: &Server,
+    server: &dyn ServerHandle,
     capacity: u64,
     client: ClientId,
 ) -> Box<dyn ModelRunner> {
     match cfg.model {
         CacheModel::Page => Box::new(PageRunner {
             cache: PageCache::new(capacity),
+            client,
         }),
         CacheModel::Semantic => Box::new(SemanticRunner {
             cache: SemanticCache::new(capacity),
+            client,
         }),
         CacheModel::Proactive => Box::new(
-            ProactiveRunner::new(capacity, cfg.policy, Catalog::from_tree(server.tree()))
-                .with_client(client),
+            ProactiveRunner::new(
+                capacity,
+                cfg.policy,
+                Catalog::from_tree(server.core().tree()),
+            )
+            .with_client(client),
         ),
     }
 }
@@ -70,18 +80,19 @@ pub(crate) fn make_runner(
 
 struct PageRunner {
     cache: PageCache,
+    client: ClientId,
 }
 
 impl ModelRunner for PageRunner {
     fn run_query(
         &mut self,
-        server: &Server,
+        server: &dyn ServerHandle,
         spec: &QuerySpec,
         _pos: Point,
         server_time_s: f64,
     ) -> RunOutput {
         let t = Instant::now();
-        let a = self.cache.query(server, spec, server_time_s);
+        let a = self.cache.query(server, self.client, spec, server_time_s);
         // PAG does essentially nothing client-side; the whole call is
         // dominated by the server's direct evaluation.
         let server_cpu_s = t.elapsed().as_secs_f64() * 0.95;
@@ -107,17 +118,20 @@ impl ModelRunner for PageRunner {
 
 struct SemanticRunner {
     cache: SemanticCache,
+    client: ClientId,
 }
 
 impl ModelRunner for SemanticRunner {
     fn run_query(
         &mut self,
-        server: &Server,
+        server: &dyn ServerHandle,
         spec: &QuerySpec,
         pos: Point,
         server_time_s: f64,
     ) -> RunOutput {
-        let a = self.cache.query(server, spec, pos, server_time_s);
+        let a = self
+            .cache
+            .query(server, self.client, spec, pos, server_time_s);
         // SEM's server work is plain direct evaluation of the remainder
         // pieces; approximate its share via the simulated per-contact cost
         // so client CPU reflects the sequential region scans.
@@ -183,19 +197,20 @@ impl ProactiveRunner {
 impl ModelRunner for ProactiveRunner {
     fn run_query(
         &mut self,
-        server: &Server,
+        server: &dyn ServerHandle,
         spec: &QuerySpec,
         pos: Point,
         server_time_s: f64,
     ) -> RunOutput {
         self.client.begin_query();
         let local = self.client.run_local(spec);
+        let store = server.core().store();
 
         let mut ledger = Ledger {
             saved_bytes: local
                 .saved
                 .iter()
-                .map(|&id| server.store().get(id).size_bytes as u64)
+                .map(|&id| store.get(id).size_bytes as u64)
                 .sum(),
             ..Default::default()
         };
@@ -204,16 +219,17 @@ impl ModelRunner for ProactiveRunner {
 
         let reply = match &local.remainder {
             Some(rq) => {
+                let req = Request::Remainder(rq.clone());
                 ledger.contacted_server = true;
-                ledger.uplink_bytes = rq.uplink_bytes();
+                ledger.uplink_bytes = req.wire_bytes();
                 ledger.server_time_s = server_time_s;
                 let t = Instant::now();
-                let reply = server.process_remainder(self.client_id, rq);
+                let reply = server.call(self.client_id, req).into_remainder();
                 server_cpu_s = t.elapsed().as_secs_f64();
                 ledger.confirmed_bytes = reply
                     .confirmed
                     .iter()
-                    .map(|&id| server.store().get(id).size_bytes as u64)
+                    .map(|&id| store.get(id).size_bytes as u64)
                     .sum();
                 ledger.confirm_wire_bytes = reply.confirmed.len() as u64 * CONFIRM_BYTES;
                 ledger.transmitted = reply.objects.iter().map(|o| o.size_bytes).collect();

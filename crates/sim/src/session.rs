@@ -4,12 +4,19 @@
 //! bit-identical to the historical single-client runner, so the sequential
 //! entry points ([`crate::run`] / [`crate::run_with_server`]) are thin
 //! wrappers over a one-session fleet.
+//!
+//! Sessions reach the server only through a [`ServerHandle`]'s transport:
+//! queries, §4.3 fmr reports and the final disconnect all travel as
+//! `Request`/`Response` envelopes, and their wire bytes — including the
+//! report's uplink cost and the returned resolution byte `D` — land in the
+//! byte ledger like any other traffic.
 
 use crate::config::{CacheModel, SimConfig};
 use crate::metrics::{QueryKind, QueryRecord, SimResult};
 use crate::runner::{self, ModelRunner, RunOutput};
 use pc_mobility::MobileClient;
-use pc_server::{ClientId, Server};
+use pc_rtree::proto::Request;
+use pc_server::{ClientId, ServerHandle};
 use pc_workload::{DriftingK, QueryGenerator};
 use std::time::Instant;
 
@@ -21,7 +28,7 @@ pub fn client_seed(seed: u64, client: ClientId) -> u64 {
 }
 
 /// A single client's end-to-end simulation state, stepped one query at a
-/// time against a shared `&Server`.
+/// time against a shared server handle.
 pub struct ClientSession {
     id: ClientId,
     cfg: SimConfig,
@@ -39,8 +46,8 @@ pub struct ClientSession {
 }
 
 impl ClientSession {
-    pub fn new(cfg: &SimConfig, server: &Server, id: ClientId) -> Self {
-        let capacity = cfg.cache_bytes(server.store().total_bytes());
+    pub fn new(cfg: &SimConfig, server: &dyn ServerHandle, id: ClientId) -> Self {
+        let capacity = cfg.cache_bytes(server.core().store().total_bytes());
         let seed = client_seed(cfg.seed, id);
         ClientSession {
             id,
@@ -75,7 +82,7 @@ impl ClientSession {
 
     /// Runs one think-move-query-absorb cycle; returns `false` once the
     /// session has issued its full query budget.
-    pub fn step(&mut self, server: &Server) -> bool {
+    pub fn step(&mut self, server: &dyn ServerHandle) -> bool {
         if self.is_done() {
             return false;
         }
@@ -89,7 +96,7 @@ impl ClientSession {
         };
 
         let wall = Instant::now();
-        let out = self
+        let mut out = self
             .runner
             .run_query(server, &spec, pos, self.cfg.server_time_s);
         let total_cpu = wall.elapsed().as_secs_f64();
@@ -111,7 +118,10 @@ impl ClientSession {
         self.cached_win += cached;
         self.issued += 1;
 
-        // Periodic fmr report drives the adaptive controller (§4.3).
+        // Periodic fmr report drives the adaptive controller (§4.3). It
+        // rides *after* this query's reply, so it never delays the results
+        // — but the report and the returned resolution byte `D` are real
+        // traffic and are charged to this query's ledger.
         if self.cfg.model == CacheModel::Proactive
             && self.cfg.fmr_report_period > 0
             && self.issued.is_multiple_of(self.cfg.fmr_report_period)
@@ -121,12 +131,17 @@ impl ClientSession {
             } else {
                 0.0
             };
-            server.report_fmr(self.id, fmr);
+            let req = Request::ReportFmr { fmr };
+            out.ledger.uplink_bytes += req.wire_bytes();
+            let reply = server.call(self.id, req);
+            out.ledger.extra_downlink_bytes += reply.wire_bytes();
+            let _new_d = reply.into_new_d();
             self.fm_win = 0;
             self.cached_win = 0;
         }
 
         let (used, index_bytes) = self.runner.cache_stats();
+        let store = server.core().store();
         self.result.push(
             QueryRecord {
                 kind: QueryKind::of(&spec),
@@ -139,7 +154,7 @@ impl ClientSession {
                 cached_result_bytes: out
                     .cached_results
                     .iter()
-                    .map(|&id| server.store().get(id).size_bytes as u64)
+                    .map(|&id| store.get(id).size_bytes as u64)
                     .sum(),
                 avg_response_s: resp.avg_response_s,
                 completion_s: resp.completion_s,
@@ -165,30 +180,48 @@ impl ClientSession {
         self.result
     }
 
-    /// Runs the session to completion.
-    pub fn run(mut self, server: &Server) -> SimResult {
+    /// Runs the session to completion, then disconnects: a `Forget`
+    /// request releases this client's adaptive state on the server, so a
+    /// long-lived server under session churn drains instead of
+    /// accumulating dead entries. The disconnect's wire bytes are charged
+    /// to the final query's record (it is the session's last traffic).
+    pub fn run(mut self, server: &dyn ServerHandle) -> SimResult {
         while self.step(server) {}
+        let req = Request::Forget;
+        let uplink = req.wire_bytes();
+        let reply = server.call(self.id, req);
+        if let Some(last) = self.result.records.last_mut() {
+            last.uplink_bytes += uplink;
+            last.downlink_bytes += reply.wire_bytes();
+        }
+        let _ = reply.into_forgotten();
         self.finish()
     }
 }
 
-/// Debug-mode oracle: the model's answer must equal the direct answer.
-fn verify_against_direct(server: &Server, spec: &pc_rtree::proto::QuerySpec, out: &RunOutput) {
-    let direct = server.direct(spec);
+/// Debug-mode oracle: the model's answer must equal the direct answer
+/// (fetched through the same transport, as `Request::Direct`).
+fn verify_against_direct(
+    server: &dyn ServerHandle,
+    spec: &pc_rtree::proto::QuerySpec,
+    out: &RunOutput,
+) {
+    let direct = server.call(0, Request::Direct(*spec)).into_direct();
+    let store = server.core().store();
     match spec {
         pc_rtree::proto::QuerySpec::Join { .. } => {
             let mut got = out.pairs.clone();
             got.sort_unstable();
-            let mut want = direct.result_pairs.clone();
+            let mut want = direct.pairs.clone();
             want.sort_unstable();
             assert_eq!(got, want, "join answer diverged from direct");
         }
         pc_rtree::proto::QuerySpec::Knn { center, .. } => {
             assert_eq!(out.objects.len(), direct.results.len());
-            let d = |id: pc_rtree::ObjectId| server.store().get(id).mbr.min_dist(center);
+            let d = |id: pc_rtree::ObjectId| store.get(id).mbr.min_dist(center);
             let mut got: Vec<f64> = out.objects.iter().map(|&o| d(o)).collect();
             got.sort_by(f64::total_cmp);
-            let mut want: Vec<f64> = direct.results.iter().map(|&(o, _)| d(o)).collect();
+            let mut want: Vec<f64> = direct.results.iter().map(|&o| d(o)).collect();
             want.sort_by(f64::total_cmp);
             for (g, w) in got.iter().zip(&want) {
                 assert!((g - w).abs() < 1e-12, "knn answer diverged from direct");
@@ -197,8 +230,7 @@ fn verify_against_direct(server: &Server, spec: &pc_rtree::proto::QuerySpec, out
         pc_rtree::proto::QuerySpec::Range { .. } => {
             let mut got = out.objects.clone();
             got.sort_unstable();
-            let mut want: Vec<pc_rtree::ObjectId> =
-                direct.results.iter().map(|(o, _)| *o).collect();
+            let mut want = direct.results.clone();
             want.sort_unstable();
             assert_eq!(got, want, "range answer diverged from direct");
         }

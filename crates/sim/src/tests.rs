@@ -143,23 +143,45 @@ fn adaptive_form_reacts_to_fmr_reports() {
 
 #[test]
 fn each_fleet_client_drives_its_own_adaptive_state() {
-    // Three clients with periodic fmr reports: the server ends up with one
-    // adaptive state per client id, none hardwired to client 0.
+    // Three clients with periodic fmr reports: mid-run, each session keeps
+    // its own adaptive state (none hardwired to client 0); on completion
+    // every session disconnects with a `Forget` request, so the server's
+    // table drains back to empty.
     let mut cfg = small(CacheModel::Proactive);
     cfg.form = FormPolicy::Adaptive;
     cfg.fmr_report_period = 20;
     cfg.n_queries = 60;
     cfg.verify = false;
     let server = build_server(&cfg);
+
+    // Step three sessions by hand past one report period: state exists.
+    let mut sessions: Vec<ClientSession> = (0..3u32)
+        .map(|c| ClientSession::new(&cfg, &server, c))
+        .collect();
+    for s in &mut sessions {
+        for _ in 0..cfg.fmr_report_period {
+            s.step(&server);
+        }
+    }
+    assert_eq!(server.tracked_clients(), 3, "one §4.3 state per client");
+    drop(sessions);
+    for c in 0..3u32 {
+        assert!(server.forget_client(c));
+    }
+
+    // A full fleet run self-cleans: sessions forget themselves on finish.
     let fleet = Fleet::new(cfg).clients(3).threads(2);
     let out = fleet.run(&server);
     assert_eq!(out.per_client.len(), 3);
     assert_eq!(out.total_queries(), 180);
-    assert_eq!(server.tracked_clients(), 3, "one §4.3 state per client");
+    assert_eq!(
+        server.tracked_clients(),
+        0,
+        "completed sessions released their adaptive state"
+    );
     for c in 0..3u32 {
-        assert!(server.forget_client(c));
+        assert!(!server.forget_client(c), "client {c} already forgotten");
     }
-    assert_eq!(server.tracked_clients(), 0);
 }
 
 #[test]

@@ -5,9 +5,11 @@ use pc_cache::{Catalog, ReplacementPolicy};
 use pc_client::{Client, QueryAnswer};
 use pc_geom::Point;
 use pc_net::Ledger;
-use pc_rtree::proto::{QuerySpec, CONFIRM_BYTES, OBJECT_HEADER_BYTES, PAIR_BYTES};
+use pc_rtree::proto::{
+    QuerySpec, Request, CONFIRM_BYTES, INVALIDATION_BYTES, OBJECT_HEADER_BYTES, PAIR_BYTES,
+};
 use pc_rtree::NodeId;
-use pc_server::{Server, VersionedReply};
+use pc_server::{ServerHandle, VersionedReply};
 
 /// Outcome of one version-aware query.
 #[derive(Clone, Debug, Default)]
@@ -52,14 +54,17 @@ impl UpdatingClient {
         dropped
     }
 
-    /// Runs one query to completion, retrying after stale refusals.
+    /// Runs one query to completion, retrying after stale refusals. All
+    /// contacts travel as [`Request::RemainderVersioned`] envelopes over
+    /// the handle's transport.
     pub fn query(
         &mut self,
-        server: &Server,
+        server: &dyn ServerHandle,
         spec: &QuerySpec,
         pos: Point,
         server_time_s: f64,
     ) -> UpdatingOutcome {
+        let store = server.core().store();
         let mut out = UpdatingOutcome::default();
         self.client.begin_query();
         // A stale refusal can only happen once per update epoch the client
@@ -70,29 +75,33 @@ impl UpdatingClient {
             out.ledger.saved_bytes = local
                 .saved
                 .iter()
-                .map(|&id| server.store().get(id).size_bytes as u64)
+                .map(|&id| store.get(id).size_bytes as u64)
                 .sum();
             let Some(rq) = &local.remainder else {
                 out.answer = self.client.assemble(&local, None);
                 return out;
             };
+            let req = Request::RemainderVersioned {
+                query: rq.clone(),
+                epoch: self.epoch,
+            };
             out.round_trips += 1;
             out.ledger.contacted_server = true;
-            out.ledger.uplink_bytes += rq.uplink_bytes();
+            out.ledger.uplink_bytes += req.wire_bytes();
             out.ledger.server_time_s += server_time_s;
-            match server.process_remainder_versioned(0, rq, self.epoch) {
+            match server.call(0, req).into_versioned() {
                 VersionedReply::Fresh {
                     reply,
                     invalidate,
                     epoch,
                 } => {
                     out.invalidated_items += self.apply_invalidations(&invalidate);
-                    out.ledger.extra_downlink_bytes += invalidate.len() as u64 * 8;
+                    out.ledger.extra_downlink_bytes += invalidate.len() as u64 * INVALIDATION_BYTES;
                     self.epoch = epoch;
                     out.ledger.confirmed_bytes += reply
                         .confirmed
                         .iter()
-                        .map(|&id| server.store().get(id).size_bytes as u64)
+                        .map(|&id| store.get(id).size_bytes as u64)
                         .sum::<u64>();
                     out.ledger.confirm_wire_bytes += reply.confirmed.len() as u64 * CONFIRM_BYTES;
                     out.ledger
@@ -108,7 +117,7 @@ impl UpdatingClient {
                 }
                 VersionedReply::Stale { invalidate, epoch } => {
                     out.invalidated_items += self.apply_invalidations(&invalidate);
-                    out.ledger.extra_downlink_bytes += invalidate.len() as u64 * 8;
+                    out.ledger.extra_downlink_bytes += invalidate.len() as u64 * INVALIDATION_BYTES;
                     self.epoch = epoch;
                     // Loop: re-run stage ① against the cleaned cache.
                 }

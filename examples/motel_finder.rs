@@ -52,7 +52,7 @@ fn main() {
     }
     let pro_q0 = pro.assemble(&local, reply.as_ref());
 
-    let sem_q0 = sem.query(&server, &q0, joey, 0.0);
+    let sem_q0 = sem.query(&server, 0, &q0, joey, 0.0);
     println!(
         "Q0 (range): {} motels found — both models pay the cold miss",
         pro_q0.objects.len()
@@ -74,7 +74,7 @@ fn main() {
         None => 0,
     };
 
-    let sem_q2 = sem.query(&server, &q2, joey, 0.0);
+    let sem_q2 = sem.query(&server, 0, &q2, joey, 0.0);
     let sem_transmitted = sem_q2.ledger.transmitted.len();
 
     println!("\nQ2 (3NN) — the cross-query-type moment:");

@@ -126,8 +126,8 @@ fn zero_capacity_baselines_never_cache() {
         let spec = QuerySpec::Range {
             window: Rect::centered_square(pos, 0.2),
         };
-        let a = pag.query(&server, &spec, 0.0);
-        let b = sem.query(&server, &spec, pos, 0.0);
+        let a = pag.query(&server, 0, &spec, 0.0);
+        let b = sem.query(&server, 0, &spec, pos, 0.0);
         assert_eq!(a.objects.len(), b.objects.len());
         assert_eq!(pag.used_bytes(), 0);
         assert_eq!(sem.used_bytes(), 0);

@@ -4,8 +4,15 @@
 //! (a) a 1-client `Fleet` reproduces the sequential `run_with_server`
 //!     path exactly (deterministic metrics; CPU wall-clock excluded);
 //! (b) an N-client concurrent run's per-client results equal the same N
-//!     sessions run sequentially.
+//!     sessions run sequentially;
+//! (c) routing the same fleet through the `BatchedService` transport
+//!     changes no per-client result — a 1-client batched fleet stays
+//!     identical to the sequential runner, and a concurrent batched fleet
+//!     matches direct dispatch client by client;
+//! (d) completed sessions disconnect (`Forget`), so the server's adaptive
+//!     table drains back to empty after every run.
 
+use procache::server::{BatchConfig, BatchedService};
 use procache::sim::{self, CacheModel, Fleet, SimConfig, SimResult, Summary};
 
 fn fleet_cfg(model: CacheModel) -> SimConfig {
@@ -84,7 +91,70 @@ fn one_client_fleet_reproduces_the_sequential_runner() {
             &format!("{model} client"),
         );
         assert_same_stream(&sequential, &fleet.merged, &format!("{model} merged"));
+        assert_eq!(
+            server.tracked_clients(),
+            0,
+            "{model}: finished session must have disconnected"
+        );
     }
+}
+
+#[test]
+fn one_client_batched_fleet_reproduces_the_sequential_runner() {
+    // The batched remainder service is a pure transport swap: with one
+    // client every batch has size one and the stream must stay
+    // bit-identical to the sequential runner.
+    let cfg = fleet_cfg(CacheModel::Proactive);
+    let mut server = sim::build_server(&cfg);
+    let sequential = sim::run_with_server(&cfg, &mut server);
+
+    let server = sim::build_server(&cfg);
+    let service = BatchedService::over(&server);
+    let fleet = Fleet::new(cfg).clients(1).run(&service);
+    assert_eq!(fleet.per_client.len(), 1);
+    assert_same_stream(&sequential, &fleet.per_client[0], "batched client");
+    assert_same_stream(&sequential, &fleet.merged, "batched merged");
+    let stats = service.stats();
+    assert!(stats.batches > 0, "remainders went through the service");
+    assert_eq!(stats.max_batch, 1, "one client cannot coalesce");
+    assert_eq!(server.tracked_clients(), 0, "session disconnected");
+}
+
+#[test]
+fn concurrent_batched_fleet_matches_direct_dispatch() {
+    let cfg = fleet_cfg(CacheModel::Proactive);
+    let clients = 3;
+
+    let server = sim::build_server(&cfg);
+    let direct = Fleet::new(cfg).clients(clients).threads(4).run(&server);
+
+    let server = sim::build_server(&cfg);
+    let service = BatchedService::new(
+        &server,
+        BatchConfig {
+            shards: 1, // maximize coalescing pressure
+            max_batch: 4,
+            queue_cap: 16,
+        },
+    );
+    let batched = Fleet::new(cfg).clients(clients).threads(4).run(&service);
+
+    assert_eq!(batched.per_client.len(), clients as usize);
+    for (c, (a, b)) in batched
+        .per_client
+        .iter()
+        .zip(&direct.per_client)
+        .enumerate()
+    {
+        assert_same_stream(a, b, &format!("batched client {c}"));
+    }
+    let stats = service.stats();
+    assert_eq!(
+        stats.batched_requests,
+        direct.merged.records.iter().filter(|r| r.contacted).count() as u64,
+        "every contact went through the batched service"
+    );
+    assert_eq!(server.tracked_clients(), 0, "all sessions disconnected");
 }
 
 #[test]
@@ -111,6 +181,11 @@ fn concurrent_fleet_matches_sequential_sessions() {
         deterministic_parts(&concurrent.merged.summary),
         deterministic_parts(&sequential.merged.summary),
         "merged summaries"
+    );
+    assert_eq!(
+        server.tracked_clients(),
+        0,
+        "every finished session must have sent Forget"
     );
 }
 
