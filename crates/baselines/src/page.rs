@@ -78,7 +78,8 @@ impl PageCache {
             ..Default::default()
         };
         let mut cached_results = Vec::new();
-        let store = server.core().store();
+        let snap = server.core().pin();
+        let store = snap.store();
         for &id in &objects {
             let size = store.get(id).size_bytes;
             if let Some(entry) = self.items.get_mut(&id) {
@@ -161,7 +162,7 @@ mod tests {
         let a = pag.query(&server, 0, &spec, 0.0);
         let mut got = a.objects.clone();
         got.sort_unstable();
-        assert_eq!(got, naive::range_naive(server.store(), &w));
+        assert_eq!(got, naive::range_naive(server.snapshot().store(), &w));
         assert_eq!(a.ledger.saved_bytes, 0, "PAG never answers locally");
         assert!(a.ledger.transmitted_bytes() > 0);
         assert!(!pag.is_empty());

@@ -198,7 +198,8 @@ impl SemanticCache {
         ledger.uplink_bytes = QUERY_DESC_BYTES + pieces.len() as u64 * REGION_DESC_BYTES;
 
         // Fetch each piece; collect the new regions to insert.
-        let store = server.core().store();
+        let snap = server.core().pin();
+        let store = snap.store();
         let mut new_regions: Vec<Region> = Vec::with_capacity(pieces.len());
         for piece in &pieces {
             let outcome = server
@@ -328,7 +329,8 @@ impl SemanticCache {
         let mut answer = Vec::with_capacity(outcome.results.len());
         let mut cached_results = Vec::new();
         let mut radius = 0.0f64;
-        let store = server.core().store();
+        let snap = server.core().pin();
+        let store = snap.store();
         for &id in &outcome.results {
             let so = store.get(id);
             ledger.transmitted.push(so.size_bytes);
@@ -387,7 +389,8 @@ impl SemanticCache {
         };
         let mut answer = Vec::with_capacity(outcome.results.len());
         let mut cached_results = Vec::new();
-        let store = server.core().store();
+        let snap = server.core().pin();
+        let store = snap.store();
         for &id in &outcome.results {
             let so = store.get(id);
             ledger.transmitted.push(so.size_bytes);

@@ -44,7 +44,7 @@ fn bench_proactive(c: &mut Criterion) {
         let mut client = Client::new(
             1 << 22,
             ReplacementPolicy::Grd3,
-            Catalog::from_tree(server.tree()),
+            Catalog::from_tree(server.snapshot().tree()),
         );
         for spec in warm_specs() {
             client.begin_query();

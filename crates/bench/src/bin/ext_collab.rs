@@ -52,7 +52,7 @@ fn run_fleet(
             Client::new(
                 total_bytes / 100,
                 ReplacementPolicy::Grd3,
-                Catalog::from_tree(server.tree()),
+                Catalog::from_tree(server.snapshot().tree()),
             )
         })
         .collect();

@@ -12,6 +12,16 @@
 //! identical either way (pinned by `tests/fleet.rs`); the batch columns
 //! report how much coalescing the fleet actually produced.
 //!
+//! With `--update-rate R` (updates per 100 completed queries, batches of
+//! `--update-batch`), an update-driver thread churns the object set
+//! *while* the fleet runs, through the epoch-swap `&self` update path:
+//! sessions speak the §7 versioned protocol, resubmitting after `Stale`
+//! refusals with every invalidation byte charged to their ledgers. A
+//! 0-rate run is bit-identical to the update-free fleet.
+//!
+//! `--json OUT` additionally writes the table as a JSON artifact
+//! (`BENCH_fleet.json` in CI) so the perf trajectory is recorded per push.
+//!
 //! Columns:
 //! * `sim q/s` — offered load the server absorbs in *simulated* time
 //!   (client streams run in parallel in the simulated world, so this
@@ -21,6 +31,8 @@
 //! * `resp` — mean per-client §4.1 response time (cache effects only:
 //!   the channel model is per-client, so this stays flat as N grows);
 //! * `hit_c` / `fmr` — merged cache hit and false-miss rates;
+//! * `upd` / `stale` / `inv` — updates applied under the run, stale
+//!   retries suffered, and invalidation downlink bytes (churn only);
 //! * `batches` / `avg b` — flushes and mean requests per flush (`--batch`
 //!   only; `avg b = 1.00` means no coalescing happened).
 //!
@@ -29,9 +41,9 @@
 //! (`Forget`) when their budget completes, so the adaptive table drains
 //! between rows on its own.
 
-use pc_bench::{banner, fmt_pct, fmt_s, HarnessOpts, Table};
+use pc_bench::{banner, fmt_bytes, fmt_pct, fmt_s, json, HarnessOpts, Table};
 use pc_server::{BatchConfig, BatchedService, ServerHandle};
-use pc_sim::{build_server, CacheModel, Fleet, FleetResult};
+use pc_sim::{build_server, CacheModel, ChurnConfig, Fleet, FleetResult};
 
 fn main() {
     let opts = HarnessOpts::from_args();
@@ -41,6 +53,11 @@ fn main() {
     if !opts.paper_scale && opts.queries.is_none() {
         cfg.n_queries = 500;
     }
+    let churn = ChurnConfig {
+        rate_per_100: opts.update_rate,
+        batch: opts.update_batch,
+        seed: opts.seed ^ 0x5EED_CAFE,
+    };
     banner(
         if opts.batch {
             "ext: concurrent client fleet (batched remainder service)"
@@ -49,8 +66,14 @@ fn main() {
         },
         &cfg,
     );
+    if opts.update_rate > 0 {
+        println!(
+            "churn: {} updates / 100 queries, {} per epoch (versioned protocol)\n",
+            opts.update_rate, opts.update_batch
+        );
+    }
 
-    let server = build_server(&cfg);
+    let shared_server = build_server(&cfg);
     let mut sizes = Vec::new();
     let mut n = 1;
     while n < max_clients {
@@ -61,15 +84,31 @@ fn main() {
 
     let mut table = Table::new(vec![
         "clients", "threads", "queries", "wall", "sim q/s", "wall q/s", "resp", "hit_c", "fmr",
-        "batches", "avg b",
+        "upd", "stale", "inv", "batches", "avg b",
     ]);
+    let mut json_rows: Vec<String> = Vec::new();
     let mut last_sim_qps = 0.0;
     let mut monotone = true;
+    let mut tracked_after = 0;
     for &clients in &sizes {
-        let fleet = Fleet::new(cfg).clients(clients).threads(opts.threads);
-        let (out, batch_cols): (FleetResult, [String; 2]) = if opts.batch {
+        // Churn mutates the dataset, so each churned row gets a fresh
+        // server — rows stay comparable (same seed world, per-row epochs)
+        // instead of inheriting the previous row's drift. Update-free
+        // rows share one server (dataset generation dominates setup).
+        let fresh_server;
+        let server = if opts.update_rate > 0 {
+            fresh_server = build_server(&cfg);
+            &fresh_server
+        } else {
+            &shared_server
+        };
+        let fleet = Fleet::new(cfg)
+            .clients(clients)
+            .threads(opts.threads)
+            .churn(churn);
+        let (out, stats): (FleetResult, Option<pc_server::ServiceStats>) = if opts.batch {
             let service = BatchedService::new(
-                &server,
+                server,
                 BatchConfig {
                     max_batch: opts.batch_max,
                     queue_cap: opts.batch_max.max(4) * 4,
@@ -77,20 +116,17 @@ fn main() {
                 },
             );
             let out = fleet.run(&service);
-            let stats = service.stats();
-            (
-                out,
-                [
-                    stats.batches.to_string(),
-                    format!("{:.2}", stats.mean_batch()),
-                ],
-            )
+            (out, Some(service.stats()))
         } else {
-            let handle: &dyn ServerHandle = &server;
-            (fleet.run(handle), ["-".to_string(), "-".to_string()])
+            let handle: &dyn ServerHandle = server;
+            (fleet.run(handle), None)
         };
+        tracked_after = server.tracked_clients();
         let s = &out.merged.summary;
-        let [batches, avg_b] = batch_cols;
+        let (batches, avg_b) = match stats {
+            Some(st) => (st.batches.to_string(), format!("{:.2}", st.mean_batch())),
+            None => ("-".to_string(), "-".to_string()),
+        };
         table.row(vec![
             clients.to_string(),
             if opts.threads == 0 {
@@ -105,9 +141,31 @@ fn main() {
             fmt_s(s.avg_response_s),
             fmt_pct(s.hit_c),
             fmt_pct(s.fmr),
+            out.updates_applied.to_string(),
+            s.totals.stale_retries.to_string(),
+            fmt_bytes(s.totals.invalidation_bytes as f64),
             batches,
             avg_b,
         ]);
+        json_rows.push(
+            json::Obj::new()
+                .num("clients", clients)
+                .num("queries", out.total_queries())
+                .num("wall_s", out.wall_s)
+                .num("sim_qps", out.sim_qps())
+                .num("wall_qps", out.wall_qps())
+                .num("avg_response_s", s.avg_response_s)
+                .num("hit_c", s.hit_c)
+                .num("fmr", s.fmr)
+                .num("contacts", s.totals.contacts)
+                .num("stale_retries", s.totals.stale_retries)
+                .num("invalidation_bytes", s.totals.invalidation_bytes)
+                .num("updates_applied", out.updates_applied)
+                .num("final_epoch", out.final_epoch)
+                .num("batches", stats.map_or(0, |st| st.batches))
+                .num("mean_batch", stats.map_or(0.0, |st| st.mean_batch()))
+                .render(),
+        );
         monotone &= out.sim_qps() > last_sim_qps;
         last_sim_qps = out.sim_qps();
     }
@@ -122,6 +180,21 @@ fn main() {
             "did NOT scale monotonically"
         },
         if opts.batch { "batched" } else { "direct" },
-        server.tracked_clients()
+        tracked_after
     );
+
+    if let Some(path) = &opts.json {
+        let doc = json::Obj::new()
+            .str("bench", "ext_fleet")
+            .str("mode", if opts.batch { "batched" } else { "direct" })
+            .num("seed", opts.seed)
+            .num("objects", cfg.n_objects)
+            .num("queries_per_client", cfg.n_queries)
+            .num("update_rate_per_100", opts.update_rate)
+            .num("update_batch", opts.update_batch)
+            .raw("rows", &json::array(&json_rows))
+            .render();
+        std::fs::write(path, doc + "\n").expect("write --json output");
+        println!("wrote {path}");
+    }
 }

@@ -45,7 +45,7 @@ fn main() {
     for rate in UPDATE_RATES {
         let store = pc_workload::datasets::ne_like(n_objects, opts.seed);
         let total_bytes = store.total_bytes();
-        let mut server = Server::new(
+        let server = Server::new(
             store,
             pc_rtree::RTreeConfig::paper(),
             ServerConfig::default(),
@@ -53,7 +53,7 @@ fn main() {
         let mut client = UpdatingClient::new(
             total_bytes / 100, // |C| = 1 %
             ReplacementPolicy::Grd3,
-            Catalog::from_tree(server.tree()),
+            Catalog::from_tree(server.snapshot().tree()),
         );
         let mut mobile = MobileClient::new(
             MobilityModel::Dir,
@@ -77,7 +77,7 @@ fn main() {
         for q in 0..n_queries {
             // Poisson-ish update arrivals at `rate` per 100 queries.
             if rate > 0 && rng.random_range(0..100) < rate.min(100) {
-                let n_live = server.store().len() as u32;
+                let n_live = server.snapshot().store().len() as u32;
                 let update = match rng.random_range(0..3) {
                     0 => Update::Move {
                         id: ObjectId(rng.random_range(0..n_live.min(n_objects as u32))),

@@ -15,7 +15,7 @@ use pc_sim::{CacheModel, SimConfig};
 use pc_workload::DatasetKind;
 
 /// Parsed command-line options shared by all experiment binaries.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct HarnessOpts {
     pub paper_scale: bool,
     pub objects: Option<usize>,
@@ -31,6 +31,13 @@ pub struct HarnessOpts {
     pub batch: bool,
     /// Flush threshold for `--batch` (requests per batch).
     pub batch_max: usize,
+    /// Server updates applied per 100 completed queries while a fleet
+    /// runs (`Fleet::churn`); 0 = no churn.
+    pub update_rate: u32,
+    /// Updates per applied churn batch (one epoch bump per batch).
+    pub update_batch: usize,
+    /// Write machine-readable results (JSON) to this path.
+    pub json: Option<String>,
 }
 
 impl HarnessOpts {
@@ -44,6 +51,9 @@ impl HarnessOpts {
             threads: 0,
             batch: false,
             batch_max: 16,
+            update_rate: 0,
+            update_batch: 1,
+            json: None,
         };
         let args: Vec<String> = std::env::args().collect();
         let mut i = 1;
@@ -79,10 +89,25 @@ impl HarnessOpts {
                     assert!(n > 0, "--batch-max must be ≥ 1");
                     opts.batch_max = n;
                 }
+                "--update-rate" => {
+                    i += 1;
+                    opts.update_rate = args[i].parse().expect("--update-rate R");
+                }
+                "--update-batch" => {
+                    i += 1;
+                    let n: usize = args[i].parse().expect("--update-batch B");
+                    assert!(n > 0, "--update-batch must be ≥ 1");
+                    opts.update_batch = n;
+                }
+                "--json" => {
+                    i += 1;
+                    opts.json = Some(args[i].clone());
+                }
                 "--help" | "-h" => {
                     eprintln!(
                         "options: --paper-scale | --objects N | --queries N | --seed S \
-                         | --clients N | --threads N | --batch | --batch-max N"
+                         | --clients N | --threads N | --batch | --batch-max N \
+                         | --update-rate R | --update-batch B | --json OUT"
                     );
                     std::process::exit(0);
                 }
@@ -167,6 +192,58 @@ pub fn three_models(base: &SimConfig) -> Vec<(String, SimConfig)> {
         out.push((cfg.model_label().to_string(), cfg));
     }
     out
+}
+
+// ---------------------------------------------------------------------
+// Machine-readable output
+// ---------------------------------------------------------------------
+
+/// Minimal JSON writer for `--json OUT` bench artifacts — the vendored
+/// environment has no serde, and the values here are flat numbers,
+/// ASCII strings and arrays of objects, so a string builder suffices.
+pub mod json {
+    /// One `{...}` object under construction.
+    #[derive(Default)]
+    pub struct Obj {
+        fields: Vec<String>,
+    }
+
+    impl Obj {
+        pub fn new() -> Self {
+            Obj::default()
+        }
+
+        /// A numeric or boolean field (anything whose `Display` form is a
+        /// valid JSON literal; `f64` must be finite).
+        pub fn num(mut self, key: &str, value: impl std::fmt::Display) -> Self {
+            self.fields.push(format!("\"{key}\":{value}"));
+            self
+        }
+
+        /// A string field (keys and values are ASCII; quotes/backslashes
+        /// escaped).
+        pub fn str(mut self, key: &str, value: &str) -> Self {
+            let escaped = value.replace('\\', "\\\\").replace('"', "\\\"");
+            self.fields.push(format!("\"{key}\":\"{escaped}\""));
+            self
+        }
+
+        /// A pre-rendered JSON value (nested object or array).
+        pub fn raw(mut self, key: &str, value: &str) -> Self {
+            self.fields.push(format!("\"{key}\":{value}"));
+            self
+        }
+
+        pub fn render(&self) -> String {
+            format!("{{{}}}", self.fields.join(","))
+        }
+    }
+
+    /// Renders pre-rendered values as a JSON array.
+    pub fn array<S: AsRef<str>>(items: &[S]) -> String {
+        let inner: Vec<&str> = items.iter().map(AsRef::as_ref).collect();
+        format!("[{}]", inner.join(","))
+    }
 }
 
 // ---------------------------------------------------------------------

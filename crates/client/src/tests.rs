@@ -39,7 +39,7 @@ fn make_client(server: &Server, capacity: u64) -> Client {
     Client::new(
         capacity,
         ReplacementPolicy::Grd3,
-        Catalog::from_tree(server.tree()),
+        Catalog::from_tree(server.snapshot().tree()),
     )
 }
 
@@ -76,7 +76,7 @@ fn pipeline_query(
         QuerySpec::Knn { center, k } => {
             assert_eq!(answer.objects.len(), direct.results.len().min(*k as usize));
             // Compare distance multisets (ties may swap ids).
-            let d = |id: ObjectId| server.store().get(id).mbr.min_dist(center);
+            let d = |id: ObjectId| server.snapshot().store().get(id).mbr.min_dist(center);
             let mut got: Vec<f64> = answer.objects.iter().map(|&o| d(o)).collect();
             got.sort_by(f64::total_cmp);
             let mut want: Vec<f64> = direct.results.iter().map(|&(o, _)| d(o)).collect();
@@ -152,7 +152,7 @@ fn repeated_query_completes_locally() {
     assert_eq!(
         got,
         naive::range_naive(
-            server.store(),
+            server.snapshot().store(),
             &match spec {
                 QuerySpec::Range { window } => window,
                 _ => unreachable!(),

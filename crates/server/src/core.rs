@@ -1,44 +1,40 @@
-//! The immutable query core of the server: dataset, R*-tree, BPT store and
-//! update log. Everything here is plain data with `&self` query methods, so
-//! a `ServerCore` is `Send + Sync` and can be shared behind an [`Arc`]
-//! (`std::sync::Arc`) by any number of worker threads — the concurrency
-//! story of a server that, per Fig. 3, serves many mobile clients at once.
+//! The shared query core of the server: dataset, R*-tree, BPT store and
+//! update log, published as an epoch-stamped immutable [`Snapshot`] behind
+//! a [`SnapshotCell`]. Query paths [`pin`](ServerCore::pin) the current
+//! snapshot (a refcount bump) and read it with plain `&self` methods, so a
+//! `ServerCore` is `Send + Sync` and serves any number of worker threads —
+//! the concurrency story of a server that, per Fig. 3, serves many mobile
+//! clients at once. Updates ([`ServerCore::apply_updates`]) build the
+//! *next* snapshot off to the side and publish it with one pointer swap,
+//! so readers never block on churn and a pinned reader always sees one
+//! consistent (tree, BPTs, store, epoch) world.
 //!
 //! The per-client *adaptive* state (§4.3) deliberately lives outside this
 //! type, in [`crate::AdaptiveController`]; [`crate::Server`] composes the
 //! two and remains the one-stop façade.
 
+use crate::epoch::SnapshotCell;
 use crate::forms::{build_shipments, FormMode};
+use crate::updates::{Update, UpdateLog};
 use pc_rtree::bpt::BptStore;
 use pc_rtree::engine::{execute, resume, AccessLog, NoopTracer, Outcome};
 use pc_rtree::proto::{QuerySpec, RemainderQuery, ServerReply};
 use pc_rtree::view::FullView;
 use pc_rtree::{ObjectStore, RTree, RTreeConfig};
+use std::sync::{Arc, Mutex};
 
-/// The shared-state heart of the server: index + data + versioning, no
-/// per-client state. All query methods take `&self`.
+/// One immutable epoch of the server's world: index + data + versioning,
+/// no per-client state. All query methods take `&self`; nothing here ever
+/// mutates after publication.
 #[derive(Clone, Debug)]
-pub struct ServerCore {
+pub struct Snapshot {
     tree: RTree,
     bpts: BptStore,
     store: ObjectStore,
-    updates: crate::updates::UpdateLog,
+    updates: UpdateLog,
 }
 
-impl ServerCore {
-    /// Bulk loads the index over `store` and prepares the BPTs offline.
-    pub fn build(store: ObjectStore, tree_cfg: RTreeConfig) -> Self {
-        let objects: Vec<_> = store.iter().copied().collect();
-        let tree = RTree::bulk_load(tree_cfg, &objects);
-        let bpts = BptStore::build(&tree);
-        ServerCore {
-            tree,
-            bpts,
-            store,
-            updates: crate::updates::UpdateLog::default(),
-        }
-    }
-
+impl Snapshot {
     pub fn tree(&self) -> &RTree {
         &self.tree
     }
@@ -60,12 +56,17 @@ impl ServerCore {
     }
 
     /// Update/invalidation state (§7 extension).
-    pub fn update_log(&self) -> &crate::updates::UpdateLog {
+    pub fn update_log(&self) -> &UpdateLog {
         &self.updates
     }
 
-    pub(crate) fn update_log_mut(&mut self) -> &mut crate::updates::UpdateLog {
+    pub(crate) fn update_log_mut(&mut self) -> &mut UpdateLog {
         &mut self.updates
+    }
+
+    /// The epoch this snapshot was published at (0 = the bulk-loaded seed).
+    pub fn epoch(&self) -> u64 {
+        self.updates.epoch()
     }
 
     /// Rebuilds the BPT of one node after its entry set changed.
@@ -116,6 +117,114 @@ impl ServerCore {
     }
 }
 
+/// The shared-state heart of the server: the current [`Snapshot`] plus the
+/// writer lock that serializes epoch transitions.
+#[derive(Debug)]
+pub struct ServerCore {
+    snap: SnapshotCell<Snapshot>,
+    /// Serializes `apply_updates` callers: each builds its next snapshot
+    /// from the one it read, so concurrent writers must not interleave
+    /// (last-publish-wins would silently drop a batch).
+    write: Mutex<()>,
+}
+
+impl Clone for ServerCore {
+    fn clone(&self) -> Self {
+        ServerCore {
+            snap: SnapshotCell::new(Snapshot::clone(&self.pin())),
+            write: Mutex::new(()),
+        }
+    }
+}
+
+impl ServerCore {
+    /// Bulk loads the index over `store` and prepares the BPTs offline.
+    pub fn build(store: ObjectStore, tree_cfg: RTreeConfig) -> Self {
+        let objects: Vec<_> = store.iter().copied().collect();
+        let tree = RTree::bulk_load(tree_cfg, &objects);
+        let bpts = BptStore::build(&tree);
+        ServerCore {
+            snap: SnapshotCell::new(Snapshot {
+                tree,
+                bpts,
+                store,
+                updates: UpdateLog::default(),
+            }),
+            write: Mutex::new(()),
+        }
+    }
+
+    /// Pins the current snapshot: an `Arc` that stays valid and internally
+    /// consistent across concurrent [`apply_updates`](Self::apply_updates)
+    /// publishes. Pin once per query and read everything off the pin.
+    pub fn pin(&self) -> Arc<Snapshot> {
+        self.snap.pin()
+    }
+
+    /// The current epoch (bumped once per applied update batch).
+    pub fn epoch(&self) -> u64 {
+        self.pin().epoch()
+    }
+
+    /// [`Snapshot::direct`] on the current snapshot.
+    pub fn direct(&self, spec: &QuerySpec) -> Outcome {
+        self.pin().direct(spec)
+    }
+
+    /// [`Snapshot::resume_remainder`] on the current snapshot.
+    pub fn resume_remainder(&self, rq: &RemainderQuery, mode: FormMode) -> ServerReply {
+        self.pin().resume_remainder(rq, mode)
+    }
+
+    /// [`Snapshot::bpt_bytes`] on the current snapshot.
+    pub fn bpt_bytes(&self) -> u64 {
+        self.pin().bpt_bytes()
+    }
+
+    /// Applies one batch of updates atomically *while queries keep
+    /// running*: clones the current snapshot, mutates the clone (store and
+    /// R*-tree edits, BPT rebuilds of changed nodes, epoch bump,
+    /// changed-node recording) and publishes it with a single pointer
+    /// swap. Readers pinned to the old epoch are untouched; the next pin
+    /// sees the new epoch. Returns the new epoch. Concurrent callers
+    /// serialize on the writer lock.
+    pub fn apply_updates(&self, updates: &[Update]) -> u64 {
+        let _writer = self.write.lock().unwrap();
+        let mut next = Snapshot::clone(&self.pin());
+        for u in updates {
+            match *u {
+                Update::Insert { mbr, size_bytes } => {
+                    let id = next.store_mut().push(mbr, size_bytes);
+                    let obj = *next.store().get(id);
+                    next.tree_mut().insert(&obj);
+                }
+                Update::Delete(id) => {
+                    let mbr = next.store().get(id).mbr;
+                    if next.tree_mut().delete(id, &mbr) {
+                        next.update_log_mut().record_delete(id);
+                    }
+                }
+                Update::Move { id, to } => {
+                    let from = next.store().get(id).mbr;
+                    if next.tree_mut().delete(id, &from) {
+                        next.store_mut().set_mbr(id, to);
+                        let obj = *next.store().get(id);
+                        next.tree_mut().insert(&obj);
+                    }
+                }
+            }
+        }
+        let dirty = next.tree_mut().take_dirty();
+        let epoch = next.update_log_mut().bump_epoch();
+        for n in dirty {
+            next.rebuild_bpt(n);
+            next.update_log_mut().record_change(n, epoch);
+        }
+        self.snap.publish(next);
+        epoch
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -145,6 +254,7 @@ mod tests {
     fn core_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<ServerCore>();
+        assert_send_sync::<Snapshot>();
         assert_send_sync::<Arc<ServerCore>>();
     }
 
@@ -168,9 +278,29 @@ mod tests {
                 })
             })
             .collect();
+        let snap = core.pin();
         for h in handles {
             let (w, got) = h.join().unwrap();
-            assert_eq!(got, naive::range_naive(core.store(), &w));
+            assert_eq!(got, naive::range_naive(snap.store(), &w));
         }
+    }
+
+    #[test]
+    fn pinned_snapshot_outlives_a_publish() {
+        let core = sample_core(200, 5);
+        let old = core.pin();
+        let before = old.store().len();
+        let epoch = core.apply_updates(&[Update::Insert {
+            mbr: Rect::from_point(Point::new(0.5, 0.5)),
+            size_bytes: 42,
+        }]);
+        assert_eq!(epoch, 1);
+        // The pinned world is frozen at epoch 0 …
+        assert_eq!(old.epoch(), 0);
+        assert_eq!(old.store().len(), before);
+        // … while the current one moved on.
+        let new = core.pin();
+        assert_eq!(new.epoch(), 1);
+        assert_eq!(new.store().len(), before + 1);
     }
 }

@@ -4,13 +4,16 @@
 //! per-client adaptive controller that tunes `d` from reported false-miss
 //! rates (§4.3).
 //!
-//! Concurrency: [`Server`] is `Send + Sync` with a `&self` read path
-//! (`process_remainder` / `report_fmr` / `direct`), built from an
-//! immutable [`ServerCore`] (dataset + R*-tree + BPT store, shareable
-//! behind an `Arc`) plus a sharded, interior-mutable
-//! [`AdaptiveController`] for the per-client §4.3 state. One server
-//! instance serves a whole fleet of concurrent clients; only data updates
-//! ([`Server::apply_updates`]) need `&mut`.
+//! Concurrency: [`Server`] is `Send + Sync` with a `&self` surface for
+//! *everything* — queries (`process_remainder` / `report_fmr` / `direct`)
+//! *and* data updates ([`Server::apply_updates`]). The [`ServerCore`]
+//! publishes the dataset + R*-tree + BPT store as epoch-stamped immutable
+//! [`Snapshot`]s behind a [`SnapshotCell`]: readers
+//! pin the current snapshot and never block, while an update batch builds
+//! the next snapshot off to the side and swaps it in with one atomic
+//! publish. A sharded, interior-mutable [`AdaptiveController`] keeps the
+//! per-client §4.3 state. One server instance serves a whole fleet of
+//! concurrent clients while the object set churns.
 //!
 //! Protocol boundary: all client traffic travels as typed
 //! `Request`/`Response` envelopes (`pc_rtree::proto`) over a [`Transport`]
@@ -22,6 +25,7 @@
 
 mod adaptive;
 mod core;
+pub mod epoch;
 mod forms;
 mod server;
 pub mod service;
@@ -31,7 +35,8 @@ pub mod transport;
 pub mod updates;
 
 pub use adaptive::{AdaptiveController, AdaptiveState};
-pub use core::ServerCore;
+pub use core::{ServerCore, Snapshot};
+pub use epoch::SnapshotCell;
 pub use forms::{build_shipments, FormMode};
 pub use server::{ClientId, FormPolicy, Server, ServerConfig};
 pub use service::{BatchConfig, BatchedService, ServiceStats};

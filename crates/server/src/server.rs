@@ -1,17 +1,18 @@
-//! The server: composes the shared [`ServerCore`] (dataset, R*-tree, BPT
-//! store) with the per-client [`AdaptiveController`], and turns remainder
-//! queries into replies. The whole read path — `process_remainder`,
-//! `report_fmr`, `direct` — takes `&self`, and `Server` is `Send + Sync`,
-//! so one server instance behind an `Arc` (or scoped-thread borrows)
-//! serves a concurrent fleet of clients.
+//! The server: composes the shared [`ServerCore`] (epoch-swapped dataset,
+//! R*-tree, BPT store snapshots) with the per-client
+//! [`AdaptiveController`], and turns remainder queries into replies. The
+//! whole surface — `process_remainder`, `report_fmr`, `direct`, *and*
+//! `apply_updates` — takes `&self`, and `Server` is `Send + Sync`, so one
+//! server instance behind an `Arc` (or scoped-thread borrows) serves a
+//! concurrent fleet of clients while the object set churns.
 
 use crate::adaptive::AdaptiveController;
-use crate::core::ServerCore;
+use crate::core::{ServerCore, Snapshot};
 use crate::forms::FormMode;
-use pc_rtree::bpt::BptStore;
 use pc_rtree::engine::Outcome;
 use pc_rtree::proto::{QuerySpec, RemainderQuery, ServerReply};
-use pc_rtree::{ObjectStore, RTree, RTreeConfig};
+use pc_rtree::{ObjectStore, RTreeConfig};
+use std::sync::Arc;
 
 /// Identifier the server uses to keep per-client adaptive state.
 pub type ClientId = u32;
@@ -90,46 +91,33 @@ impl Server {
         }
     }
 
-    /// The shared query core (index, data, update log).
+    /// The shared query core (snapshot cell + writer lock).
     pub fn core(&self) -> &ServerCore {
         &self.core
     }
 
-    pub(crate) fn core_mut(&mut self) -> &mut ServerCore {
-        &mut self.core
-    }
-
-    pub fn tree(&self) -> &RTree {
-        self.core.tree()
-    }
-
-    /// Update/invalidation state (§7 extension).
-    pub fn update_log(&self) -> &crate::updates::UpdateLog {
-        self.core.update_log()
-    }
-
-    pub fn bpts(&self) -> &BptStore {
-        self.core.bpts()
-    }
-
-    pub fn store(&self) -> &ObjectStore {
-        self.core.store()
+    /// Pins the current [`Snapshot`] (dataset, R*-tree, BPTs, update log at
+    /// one epoch). The pin stays valid and self-consistent across
+    /// concurrent [`apply_updates`](Server::apply_updates) calls.
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        self.core.pin()
     }
 
     pub fn config(&self) -> &ServerConfig {
         &self.cfg
     }
 
-    /// Evaluates a query directly (no caching) — ground truth for the
-    /// simulator's metrics and the backend for the PAG/SEM baselines.
+    /// Evaluates a query directly (no caching) on the current snapshot —
+    /// ground truth for the simulator's metrics and the backend for the
+    /// PAG/SEM baselines.
     pub fn direct(&self, spec: &QuerySpec) -> Outcome {
         self.core.direct(spec)
     }
 
     /// The form mode this server would build `Ir` in for `client` right
     /// now — the per-client policy half of `process_remainder`, split out
-    /// so batched/remote services can execute resumes directly against the
-    /// shared [`ServerCore`].
+    /// so batched/remote services can execute resumes directly against a
+    /// pinned [`Snapshot`].
     pub fn remainder_mode(&self, client: ClientId) -> FormMode {
         match self.cfg.form {
             FormPolicy::Full => FormMode::Full,
@@ -229,7 +217,7 @@ mod tests {
         let reply = server.process_remainder(7, &rq);
         let mut got: Vec<ObjectId> = reply.objects.iter().map(|o| o.id).collect();
         got.sort_unstable();
-        assert_eq!(got, naive::range_naive(server.store(), &w));
+        assert_eq!(got, naive::range_naive(server.snapshot().store(), &w));
         assert!(reply.confirmed.is_empty(), "cold cache has nothing cached");
         assert!(!reply.index.is_empty(), "Ir must accompany Rr");
         assert!(reply.downlink_bytes() > 0);
@@ -256,7 +244,7 @@ mod tests {
         let reply = server.process_remainder(1, &rq);
         let mut pairs = reply.pairs.clone();
         pairs.sort_unstable();
-        assert_eq!(pairs, naive::join_naive(server.store(), dist));
+        assert_eq!(pairs, naive::join_naive(server.snapshot().store(), dist));
         // All pair members must be transmitted exactly once.
         let mut ids: Vec<ObjectId> = reply.objects.iter().map(|o| o.id).collect();
         ids.sort_unstable();
@@ -331,7 +319,7 @@ mod tests {
         // index itself."
         let server = sample_server(500, 6, FormPolicy::Adaptive);
         let aux = server.bpt_bytes();
-        let index = server.tree().stats().index_bytes;
+        let index = server.snapshot().tree().stats().index_bytes;
         assert!(aux > 0);
         assert!(aux <= 2 * index, "aux {aux} vs index {index}");
     }

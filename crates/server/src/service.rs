@@ -16,21 +16,28 @@
 //! `tests/fleet.rs`.
 //!
 //! Batching never changes an answer: remainder resumption is a pure read
-//! of the immutable core, and each request's form mode (the only
-//! per-client input) is resolved at *call* time — exactly when direct
-//! dispatch would read it — and carried through the queue, so a
-//! concurrent fmr report or LRU eviction between enqueue and flush cannot
-//! alter the reply.
+//! of an immutable snapshot, and each request's inputs — its form mode
+//! (the only per-client input) *and* the epoch snapshot it reads — are
+//! resolved at *call* time, exactly when direct dispatch would read them,
+//! and carried through the queue. A concurrent fmr report, LRU eviction
+//! or `apply_updates` epoch swap between enqueue and flush cannot alter
+//! the reply, and a mid-batch swap cannot split a batch across epochs:
+//! every queued request executes against the snapshot it pinned when it
+//! was enqueued.
 //!
-//! Control traffic (fmr reports, forgets, direct and versioned queries)
-//! passes straight through to the in-process dispatch path — it is cheap,
-//! latency-sensitive and, for versioned remainders, epoch-ordering
-//! matters.
+//! Versioned remainders (§7 invalidation protocol) batch exactly like
+//! plain ones: the epoch check and the resume both evaluate against the
+//! request's call-time snapshot, which is the same linearization direct
+//! dispatch offers (a request racing an update may be answered by either
+//! side of the swap — here, the side current when it arrived). Control
+//! traffic (fmr reports, forgets, direct queries) passes straight through
+//! to the in-process dispatch path — it is cheap and latency-sensitive.
 
+use crate::core::Snapshot;
 use crate::server::{ClientId, Server};
 use crate::transport::{dispatch, ServerHandle, Transport};
 use crate::{FormMode, ServerCore};
-use pc_rtree::proto::{RemainderQuery, Request, Response, ServerReply};
+use pc_rtree::proto::{RemainderQuery, Request, Response, VersionedReply};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -84,10 +91,41 @@ impl ServiceStats {
 /// One queued remainder waiting for a flusher.
 struct Pending {
     rq: RemainderQuery,
+    /// `Some(client_epoch)` for a versioned remainder (§7), `None` plain.
+    epoch: Option<u64>,
     /// Form mode resolved at call time (direct-dispatch semantics); the
     /// flusher must not re-read adaptive state, which may have moved.
     mode: FormMode,
-    slot: Arc<Mutex<Option<ServerReply>>>,
+    /// Epoch snapshot pinned at call time: the flusher must not re-pin,
+    /// or an `apply_updates` swap mid-batch would split the batch across
+    /// epochs.
+    snap: Arc<Snapshot>,
+    slot: Arc<Mutex<Option<Response>>>,
+}
+
+impl Pending {
+    /// Resolves this request against its pinned snapshot — the one pure
+    /// computation a flusher performs per batch entry.
+    fn execute(&self) -> Response {
+        match self.epoch {
+            None => Response::Remainder(self.snap.resume_remainder(&self.rq, self.mode)),
+            Some(client_epoch) => {
+                let invalidate = self.snap.update_log().changed_since(client_epoch);
+                Response::Versioned(if invalidate.is_empty() {
+                    VersionedReply::Fresh {
+                        reply: self.snap.resume_remainder(&self.rq, self.mode),
+                        invalidate,
+                        epoch: self.snap.epoch(),
+                    }
+                } else {
+                    VersionedReply::Stale {
+                        invalidate,
+                        epoch: self.snap.epoch(),
+                    }
+                })
+            }
+        }
+    }
 }
 
 #[derive(Default)]
@@ -165,9 +203,20 @@ impl<'a> BatchedService<'a> {
         self.max_batch_seen.fetch_max(len as u64, Ordering::Relaxed);
     }
 
-    fn batched_remainder(&self, client: ClientId, rq: RemainderQuery) -> Response {
+    fn batched_remainder(
+        &self,
+        client: ClientId,
+        rq: RemainderQuery,
+        epoch: Option<u64>,
+    ) -> Response {
         let shard = self.shard(client);
-        let mode = self.server.remainder_mode(client);
+        let pending = Pending {
+            rq,
+            epoch,
+            mode: self.server.remainder_mode(client),
+            snap: self.server.core().pin(),
+            slot: Arc::new(Mutex::new(None)),
+        };
         let mut q = shard.queue.lock().unwrap();
         while q.pending.len() >= self.cfg.queue_cap {
             q = shard.wake.wait(q).unwrap();
@@ -182,22 +231,18 @@ impl<'a> BatchedService<'a> {
             q.flushing = true;
             drop(q);
             self.note_batch(1);
-            let reply = self.server.core().resume_remainder(&rq, mode);
+            let reply = pending.execute();
             let mut q = shard.queue.lock().unwrap();
             q.flushing = false;
             drop(q);
             shard.wake.notify_all();
-            return Response::Remainder(reply);
+            return reply;
         }
-        let slot = Arc::new(Mutex::new(None));
-        q.pending.push_back(Pending {
-            rq,
-            mode,
-            slot: Arc::clone(&slot),
-        });
+        let slot = Arc::clone(&pending.slot);
+        q.pending.push_back(pending);
         loop {
             if let Some(reply) = slot.lock().unwrap().take() {
-                return Response::Remainder(reply);
+                return reply;
             }
             if q.flushing {
                 q = shard.wake.wait(q).unwrap();
@@ -217,9 +262,10 @@ impl<'a> BatchedService<'a> {
 
             self.note_batch(batch.len());
 
-            // Execute the whole batch against the shared core, lock-free.
+            // Execute the whole batch lock-free, each request against the
+            // snapshot it pinned at call time.
             for p in batch {
-                let reply = self.server.core().resume_remainder(&p.rq, p.mode);
+                let reply = p.execute();
                 *p.slot.lock().unwrap() = Some(reply);
             }
 
@@ -233,7 +279,10 @@ impl<'a> BatchedService<'a> {
 impl Transport for BatchedService<'_> {
     fn call(&self, client: ClientId, req: Request) -> Response {
         match req {
-            Request::Remainder(rq) => self.batched_remainder(client, rq),
+            Request::Remainder(rq) => self.batched_remainder(client, rq, None),
+            Request::RemainderVersioned { query, epoch } => {
+                self.batched_remainder(client, query, Some(epoch))
+            }
             other => dispatch(self.server, client, other),
         }
     }
@@ -324,6 +373,60 @@ mod tests {
         assert_eq!(stats.batched_requests, 8 * rounds as u64);
         assert!(stats.batches > 0);
         assert!(stats.max_batch <= 8, "flush threshold respected");
+    }
+
+    #[test]
+    fn batched_remainders_survive_concurrent_epoch_swaps() {
+        // Remainder queries race `apply_updates`: each queued request pins
+        // the snapshot it was enqueued against, so a flush that runs after
+        // a swap resumes against the coherent world its heap references —
+        // never a tree the new epoch may have restructured mid-batch.
+        use crate::updates::Update;
+        use pc_geom::Point;
+
+        let server = sample_server(400, 7, FormPolicy::Adaptive);
+        let service = BatchedService::new(
+            &server,
+            BatchConfig {
+                shards: 1, // all clients coalesce, maximizing mid-batch swaps
+                max_batch: 8,
+                queue_cap: 64,
+            },
+        );
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..6u32)
+                .map(|client| {
+                    let service = &service;
+                    let server = &server;
+                    scope.spawn(move || {
+                        for r in 0..24 {
+                            let w = Rect::centered_square(
+                                Point::new(0.2 + 0.1 * client as f64 % 0.6, 0.5),
+                                0.2,
+                            );
+                            let rq = cold_remainder(server, QuerySpec::Range { window: w });
+                            let reply = service
+                                .call(client, Request::Remainder(rq))
+                                .into_remainder();
+                            assert!(
+                                !reply.index.is_empty(),
+                                "client {client} round {r}: Ir must accompany Rr"
+                            );
+                        }
+                    })
+                })
+                .collect();
+            for i in 0..40u32 {
+                server.apply_updates(&[Update::Move {
+                    id: pc_rtree::ObjectId(i % 400),
+                    to: pc_geom::Rect::from_point(Point::new(0.1 + 0.02 * (i % 40) as f64, 0.9)),
+                }]);
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+        assert_eq!(server.core().epoch(), 40);
     }
 
     #[test]

@@ -36,8 +36,9 @@ pub fn sample_server(n: usize, seed: u64, form: FormPolicy) -> Server {
 /// A cold-cache remainder: the whole query state is the root cell (or the
 /// root pair for joins).
 pub fn cold_remainder(server: &Server, spec: QuerySpec) -> RemainderQuery {
-    let root = server.tree().root();
-    let mbr = server.tree().root_mbr().unwrap();
+    let snap = server.snapshot();
+    let root = snap.tree().root();
+    let mbr = snap.tree().root_mbr().unwrap();
     let side = Side::Cell {
         cell: CellRef::node_root(root),
         mbr,

@@ -121,7 +121,7 @@ mod tests {
         // `&Server` coerces to a handle at call sites.
         let server = sample_server(50, 1, FormPolicy::Adaptive);
         let handle: &dyn ServerHandle = &server;
-        assert_eq!(handle.core().store().len(), 50);
+        assert_eq!(handle.core().pin().store().len(), 50);
     }
 
     proptest! {

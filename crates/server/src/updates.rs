@@ -12,11 +12,18 @@
 //!   resubmits — one extra round trip per epoch gap, charged honestly by
 //!   the experiments.
 //!
-//! Consistency model: answers computed *at* a contact reflect the current
-//! server state exactly; purely local answers between contacts may be
-//! stale (bounded by contact frequency). This is the standard trade-off
-//! for invalidation-on-contact schemes without a downlink broadcast
-//! channel.
+//! Updates are **concurrent with queries**: [`Server::apply_updates`]
+//! takes `&self`, building the next epoch's snapshot off to the side and
+//! publishing it with one pointer swap ([`crate::ServerCore`]), so a fleet
+//! keeps reading the old epoch while the object set churns. The version
+//! check and the resume of one contact execute against a single pinned
+//! snapshot, so an accepted resume can never straddle an epoch boundary.
+//!
+//! Consistency model: answers computed *at* a contact reflect the epoch
+//! they were answered in exactly; purely local answers between contacts
+//! may be stale (bounded by contact frequency). This is the standard
+//! trade-off for invalidation-on-contact schemes without a downlink
+//! broadcast channel.
 
 use crate::server::{ClientId, Server};
 use pc_geom::Rect;
@@ -39,7 +46,7 @@ pub enum Update {
     Move { id: ObjectId, to: Rect },
 }
 
-/// Update/invalidation state bolted onto a [`Server`].
+/// Update/invalidation state carried by each published snapshot.
 #[derive(Clone, Debug, Default)]
 pub struct UpdateLog {
     epoch: u64,
@@ -70,48 +77,32 @@ impl UpdateLog {
     pub fn deleted_objects(&self) -> &[ObjectId] {
         &self.deleted
     }
+
+    pub(crate) fn record_delete(&mut self, id: ObjectId) {
+        self.deleted.push(id);
+    }
+
+    pub(crate) fn bump_epoch(&mut self) -> u64 {
+        self.epoch += 1;
+        self.epoch
+    }
+
+    pub(crate) fn record_change(&mut self, node: NodeId, epoch: u64) {
+        self.node_changes.insert(node, epoch);
+    }
 }
 
 impl Server {
-    /// Applies one batch of updates atomically: mutates the store and the
-    /// R*-tree, rebuilds the BPTs of changed nodes, bumps the epoch and
-    /// records the changed-node set. Returns the new epoch.
-    pub fn apply_updates(&mut self, updates: &[Update]) -> u64 {
-        let core = self.core_mut();
-        for u in updates {
-            match *u {
-                Update::Insert { mbr, size_bytes } => {
-                    let id = core.store_mut().push(mbr, size_bytes);
-                    let obj = *core.store().get(id);
-                    core.tree_mut().insert(&obj);
-                }
-                Update::Delete(id) => {
-                    let mbr = core.store().get(id).mbr;
-                    if core.tree_mut().delete(id, &mbr) {
-                        core.update_log_mut().deleted.push(id);
-                    }
-                }
-                Update::Move { id, to } => {
-                    let from = core.store().get(id).mbr;
-                    if core.tree_mut().delete(id, &from) {
-                        core.store_mut().set_mbr(id, to);
-                        let obj = *core.store().get(id);
-                        core.tree_mut().insert(&obj);
-                    }
-                }
-            }
-        }
-        let dirty = core.tree_mut().take_dirty();
-        core.update_log_mut().epoch += 1;
-        let epoch = core.update_log().epoch;
-        for n in dirty {
-            core.rebuild_bpt(n);
-            core.update_log_mut().node_changes.insert(n, epoch);
-        }
-        epoch
+    /// Applies one batch of updates atomically while queries keep running:
+    /// delegates to [`crate::ServerCore::apply_updates`], which publishes
+    /// the next snapshot with a single pointer swap. Returns the new epoch.
+    pub fn apply_updates(&self, updates: &[Update]) -> u64 {
+        self.core().apply_updates(updates)
     }
 
-    /// The version-aware stage ② of the invalidation protocol.
+    /// The version-aware stage ② of the invalidation protocol. The epoch
+    /// check and (when current) the resume both run against one pinned
+    /// snapshot, so the answer is exact for the epoch it reports.
     ///
     /// Conservative rule: *any* epoch gap refuses the resume. A weaker rule
     /// (refuse only when the heap references changed nodes) would keep the
@@ -128,26 +119,29 @@ impl Server {
         rq: &RemainderQuery,
         client_epoch: u64,
     ) -> VersionedReply {
-        let invalidate = self.update_log().changed_since(client_epoch);
+        let snap = self.core().pin();
+        let invalidate = snap.update_log().changed_since(client_epoch);
         if !invalidate.is_empty() {
             return VersionedReply::Stale {
                 invalidate,
-                epoch: self.update_log().epoch,
+                epoch: snap.epoch(),
             };
         }
         VersionedReply::Fresh {
-            reply: self.process_remainder(client, rq),
+            reply: snap.resume_remainder(rq, self.remainder_mode(client)),
             invalidate,
-            epoch: self.update_log().epoch,
+            epoch: snap.epoch(),
         }
     }
 
-    /// A versioned direct query for baselines/ground truth after updates.
+    /// A versioned direct query for baselines/ground truth after updates;
+    /// evaluated on one pinned snapshot.
     pub fn direct_current(&self, spec: &pc_rtree::proto::QuerySpec) -> Vec<SpatialObject> {
-        self.direct(spec)
+        let snap = self.core().pin();
+        snap.direct(spec)
             .results
             .iter()
-            .map(|&(id, _)| *self.store().get(id))
+            .map(|&(id, _)| *snap.store().get(id))
             .collect()
     }
 }
@@ -160,8 +154,11 @@ mod tests {
     use pc_rtree::naive;
     use pc_rtree::proto::{CellRef, HeapEntry, QuerySpec, Side};
     use pc_rtree::{ObjectStore, RTreeConfig};
+    use proptest::prelude::*;
     use rand::rngs::SmallRng;
     use rand::{Rng, SeedableRng};
+    use std::collections::HashSet;
+    use std::sync::atomic::{AtomicBool, Ordering};
 
     fn sample_server(n: usize, seed: u64) -> Server {
         let mut rng = SmallRng::seed_from_u64(seed);
@@ -184,24 +181,29 @@ mod tests {
 
     #[test]
     fn updates_bump_epoch_and_record_changes() {
-        let mut server = sample_server(200, 1);
-        assert_eq!(server.update_log().epoch(), 0);
+        let server = sample_server(200, 1);
+        let snap = server.snapshot();
+        assert_eq!(snap.update_log().epoch(), 0);
         let e1 = server.apply_updates(&[Update::Insert {
             mbr: Rect::from_point(Point::new(0.5, 0.5)),
             size_bytes: 777,
         }]);
         assert_eq!(e1, 1);
-        assert!(!server.update_log().changed_since(0).is_empty());
-        assert!(server.update_log().changed_since(1).is_empty());
+        let now = server.snapshot();
+        assert!(!now.update_log().changed_since(0).is_empty());
+        assert!(now.update_log().changed_since(1).is_empty());
+        // The pre-update pin still sees the unchanged world.
+        assert_eq!(snap.epoch(), 0);
+        assert!(snap.update_log().changed_since(0).is_empty());
     }
 
     #[test]
     fn queries_reflect_updates() {
-        let mut server = sample_server(200, 2);
+        let server = sample_server(200, 2);
         let w = Rect::centered_square(Point::new(0.5, 0.5), 0.1);
-        let before = naive::range_naive(server.store(), &w).len();
+        let before = naive::range_naive(server.snapshot().store(), &w).len();
         // Drop everything currently in the window, then add one point.
-        let victims: Vec<Update> = naive::range_naive(server.store(), &w)
+        let victims: Vec<Update> = naive::range_naive(server.snapshot().store(), &w)
             .into_iter()
             .map(Update::Delete)
             .collect();
@@ -216,15 +218,15 @@ mod tests {
             1,
             "was {before}, all deleted, one added"
         );
-        server
-            .tree()
-            .validate(server.tree().object_count(), false)
+        let snap = server.snapshot();
+        snap.tree()
+            .validate(snap.tree().object_count(), false)
             .unwrap();
     }
 
     #[test]
     fn moves_relocate_objects() {
-        let mut server = sample_server(150, 3);
+        let server = sample_server(150, 3);
         let id = ObjectId(0);
         let to = Rect::from_point(Point::new(0.99, 0.99));
         server.apply_updates(&[Update::Move { id, to }]);
@@ -237,19 +239,20 @@ mod tests {
 
     #[test]
     fn stale_remainder_is_refused() {
-        let mut server = sample_server(200, 4);
+        let server = sample_server(200, 4);
         server.apply_updates(&[Update::Delete(ObjectId(5))]);
         // A remainder whose heap references one of the nodes the delete
         // changed must be refused when the client is behind (epoch 0).
         // (A remainder through *unchanged* nodes stays resumable — the
         // companion test below — so we target a changed leaf explicitly.)
-        let changed = server.update_log().changed_since(0);
+        let snap = server.snapshot();
+        let changed = snap.update_log().changed_since(0);
         assert!(!changed.is_empty());
         let leaf = *changed
             .iter()
-            .find(|n| server.tree().node(**n).is_leaf())
+            .find(|n| snap.tree().node(**n).is_leaf())
             .expect("delete dirties its leaf");
-        let mbr = server.tree().node(leaf).mbr().unwrap();
+        let mbr = snap.tree().node(leaf).mbr().unwrap();
         let rq = RemainderQuery {
             spec: QuerySpec::Range { window: mbr },
             already_found: 0,
@@ -284,7 +287,7 @@ mod tests {
     fn any_epoch_gap_is_refused_even_over_unchanged_nodes() {
         // Conservative protocol: the client's stage-① answer may have used
         // stale leaves the heap never mentions, so *any* gap refuses.
-        let mut server = sample_server(400, 5);
+        let server = sample_server(400, 5);
         let far = server
             .direct(&QuerySpec::Knn {
                 center: Point::new(0.95, 0.95),
@@ -293,15 +296,15 @@ mod tests {
             .results[0]
             .0;
         server.apply_updates(&[Update::Delete(far)]);
-        let changed: std::collections::HashSet<NodeId> =
-            server.update_log().changed_since(0).into_iter().collect();
-        let unchanged_leaf = server
+        let snap = server.snapshot();
+        let changed: HashSet<NodeId> = snap.update_log().changed_since(0).into_iter().collect();
+        let unchanged_leaf = snap
             .tree()
             .node_ids()
             .into_iter()
-            .find(|n| server.tree().node(*n).is_leaf() && !changed.contains(n))
+            .find(|n| snap.tree().node(*n).is_leaf() && !changed.contains(n))
             .expect("some leaf unchanged");
-        let mbr = server.tree().node(unchanged_leaf).mbr().unwrap();
+        let mbr = snap.tree().node(unchanged_leaf).mbr().unwrap();
         let rq = RemainderQuery {
             spec: QuerySpec::Range { window: mbr },
             already_found: 0,
@@ -321,9 +324,202 @@ mod tests {
                 panic!("behind-epoch contact must be refused")
             }
         }
-        match server.process_remainder_versioned(0, &rq, server.update_log().epoch()) {
+        match server.process_remainder_versioned(0, &rq, snap.epoch()) {
             VersionedReply::Fresh { invalidate, .. } => assert!(invalidate.is_empty()),
             VersionedReply::Stale { .. } => panic!("current epoch must be fresh"),
+        }
+    }
+
+    #[test]
+    fn updates_run_concurrently_with_queries() {
+        // The point of the epoch swap: `apply_updates` takes `&self` and
+        // runs while reader threads hammer the query path. No reader ever
+        // observes a torn world (each pins one snapshot per query).
+        let server = sample_server(300, 6);
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            for t in 0..3u32 {
+                let server = &server;
+                let stop = &stop;
+                scope.spawn(move || {
+                    let w = Rect::centered_square(Point::new(0.2 + 0.2 * t as f64, 0.5), 0.25);
+                    while !stop.load(Ordering::Acquire) {
+                        let snap = server.snapshot();
+                        let got = snap.direct(&QuerySpec::Range { window: w });
+                        let deleted: HashSet<ObjectId> = snap
+                            .update_log()
+                            .deleted_objects()
+                            .iter()
+                            .copied()
+                            .collect();
+                        let want: Vec<ObjectId> = naive::range_naive(snap.store(), &w)
+                            .into_iter()
+                            .filter(|id| !deleted.contains(id))
+                            .collect();
+                        let mut ids: Vec<ObjectId> =
+                            got.results.iter().map(|&(id, _)| id).collect();
+                        ids.sort_unstable();
+                        assert_eq!(ids, want, "pinned snapshot answered inconsistently");
+                    }
+                });
+            }
+            let mut rng = SmallRng::seed_from_u64(99);
+            for _ in 0..40 {
+                let update = match rng.random_range(0..3u32) {
+                    0 => Update::Insert {
+                        mbr: Rect::from_point(Point::new(
+                            rng.random_range(0.0..1.0),
+                            rng.random_range(0.0..1.0),
+                        )),
+                        size_bytes: 500,
+                    },
+                    1 => Update::Delete(ObjectId(rng.random_range(0..250))),
+                    _ => Update::Move {
+                        id: ObjectId(rng.random_range(0..250)),
+                        to: Rect::from_point(Point::new(
+                            rng.random_range(0.0..1.0),
+                            rng.random_range(0.0..1.0),
+                        )),
+                    },
+                };
+                server.apply_updates(&[update]);
+            }
+            stop.store(true, Ordering::Release);
+        });
+        assert_eq!(server.snapshot().epoch(), 40);
+    }
+
+    /// The leaf of `id` in `snap`'s tree (`None` once it is deleted there).
+    fn leaf_of(snap: &crate::Snapshot, id: ObjectId) -> Option<NodeId> {
+        snap.tree().node_ids().into_iter().find(|&n| {
+            let node = snap.tree().node(n);
+            node.is_leaf()
+                && node
+                    .entries
+                    .iter()
+                    .any(|e| e.child == pc_rtree::ChildRef::Object(id))
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        /// Readers pinned during an `apply_updates` storm always observe a
+        /// consistent (tree, BPT, epoch) triple, and `changed_since` never
+        /// under-reports: the old-snapshot leaf of every moved or deleted
+        /// object is in the changed-node set a behind-epoch client would
+        /// be told to invalidate.
+        #[test]
+        fn snapshot_storm_keeps_readers_consistent_and_changed_since_complete(
+            seed in 0u64..200,
+            batches in 2usize..8,
+            per_batch in 1usize..4,
+        ) {
+            let server = sample_server(220, seed);
+            let stop = AtomicBool::new(false);
+            std::thread::scope(|scope| {
+                // Two readers pinning snapshots mid-storm: the (tree, BPT,
+                // epoch) triple must be coherent — a cold resume through
+                // the pinned BPTs equals the pinned tree's direct answer,
+                // and epochs never run backwards within one reader.
+                for _ in 0..2 {
+                    let server = &server;
+                    let stop = &stop;
+                    scope.spawn(move || {
+                        let mut last_epoch = 0u64;
+                        loop {
+                            let done = stop.load(Ordering::Acquire);
+                            let snap = server.snapshot();
+                            assert!(snap.epoch() >= last_epoch, "epoch ran backwards");
+                            last_epoch = snap.epoch();
+                            let root = snap.tree().root();
+                            let mbr = snap.tree().root_mbr().unwrap();
+                            let w = Rect::centered_square(Point::new(0.5, 0.5), 0.3);
+                            let rq = RemainderQuery {
+                                spec: QuerySpec::Range { window: w },
+                                already_found: 0,
+                                heap: vec![(
+                                    0.0,
+                                    HeapEntry::Single(Side::Cell {
+                                        cell: CellRef::node_root(root),
+                                        mbr,
+                                    }),
+                                )],
+                            };
+                            let resumed =
+                                snap.resume_remainder(&rq, crate::FormMode::COMPACT);
+                            let mut via_bpt: Vec<ObjectId> =
+                                resumed.objects.iter().map(|o| o.id).collect();
+                            via_bpt.extend(resumed.confirmed.iter().copied());
+                            via_bpt.sort_unstable();
+                            let mut via_tree: Vec<ObjectId> = snap
+                                .direct(&QuerySpec::Range { window: w })
+                                .results
+                                .iter()
+                                .map(|&(id, _)| id)
+                                .collect();
+                            via_tree.sort_unstable();
+                            assert_eq!(
+                                via_bpt, via_tree,
+                                "BPTs and tree of one pinned snapshot disagree"
+                            );
+                            if done {
+                                break;
+                            }
+                        }
+                    });
+                }
+
+                let mut rng = SmallRng::seed_from_u64(seed ^ 0xD15EA5E);
+                for _ in 0..batches {
+                    let old = server.core().pin();
+                    let n_live = old.store().len() as u32;
+                    let updates: Vec<Update> = (0..per_batch)
+                        .map(|_| match rng.random_range(0..3u32) {
+                            0 => Update::Insert {
+                                mbr: Rect::from_point(Point::new(
+                                    rng.random_range(0.0..1.0),
+                                    rng.random_range(0.0..1.0),
+                                )),
+                                size_bytes: 700,
+                            },
+                            1 => Update::Delete(ObjectId(rng.random_range(0..n_live))),
+                            _ => Update::Move {
+                                id: ObjectId(rng.random_range(0..n_live)),
+                                to: Rect::from_point(Point::new(
+                                    rng.random_range(0.0..1.0),
+                                    rng.random_range(0.0..1.0),
+                                )),
+                            },
+                        })
+                        .collect();
+                    // Old-snapshot leaves of the victims, *before* the batch.
+                    let victims: Vec<NodeId> = updates
+                        .iter()
+                        .filter_map(|u| match *u {
+                            Update::Delete(id) | Update::Move { id, .. } => {
+                                leaf_of(&old, id)
+                            }
+                            Update::Insert { .. } => None,
+                        })
+                        .collect();
+                    server.apply_updates(&updates);
+                    let changed: HashSet<NodeId> = server
+                        .snapshot()
+                        .update_log()
+                        .changed_since(old.epoch())
+                        .into_iter()
+                        .collect();
+                    for leaf in victims {
+                        assert!(
+                            changed.contains(&leaf),
+                            "changed_since under-reports: leaf {leaf:?} held a \
+                             moved/deleted object but is not in the invalidation set"
+                        );
+                    }
+                }
+                stop.store(true, Ordering::Release);
+            });
         }
     }
 }

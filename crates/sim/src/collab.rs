@@ -244,7 +244,8 @@ pub fn query_with_peers(
     let mut seen: HashSet<ObjectId> = objects.iter().copied().collect();
 
     // Byte-weighted response bookkeeping: saved bytes answer at t = 0.
-    let obj_bytes = |id: ObjectId| server.core().store().get(id).size_bytes as u64;
+    let snap = server.core().pin();
+    let obj_bytes = |id: ObjectId| snap.store().get(id).size_bytes as u64;
     let mut weighted = 0.0;
     let mut total_result_bytes: u64 = objects.iter().map(|&o| obj_bytes(o)).sum();
     let mut t = 0.0;

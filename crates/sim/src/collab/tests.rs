@@ -23,7 +23,7 @@ fn setup(n: usize, clients: usize, seed: u64) -> (Server, Vec<Client>) {
             Client::new(
                 1 << 22,
                 ReplacementPolicy::Grd3,
-                Catalog::from_tree(server.tree()),
+                Catalog::from_tree(server.snapshot().tree()),
             )
         })
         .collect();
@@ -80,7 +80,7 @@ fn warm_peer_fully_serves_a_cold_neighbor() {
     let QuerySpec::Range { window } = spec else {
         unreachable!()
     };
-    assert_eq!(got, naive::range_naive(server.store(), &window));
+    assert_eq!(got, naive::range_naive(server.snapshot().store(), &window));
     // And the payloads were transferred: client 0 can answer locally now.
     fleet[0].begin_query();
     let local = fleet[0].run_local(&spec);
@@ -121,17 +121,17 @@ fn random_fleet_answers_always_match_direct() {
                 got.sort_unstable();
                 assert_eq!(
                     got,
-                    naive::range_naive(server.store(), window),
+                    naive::range_naive(server.snapshot().store(), window),
                     "round {round}"
                 );
             }
             QuerySpec::Knn { center, k } => {
-                let want = naive::knn_naive(server.store(), center, *k as usize);
+                let want = naive::knn_naive(server.snapshot().store(), center, *k as usize);
                 assert_eq!(out.objects.len(), want.len(), "round {round}");
                 let mut got_d: Vec<f64> = out
                     .objects
                     .iter()
-                    .map(|id| server.store().get(*id).mbr.min_dist(center))
+                    .map(|id| server.snapshot().store().get(*id).mbr.min_dist(center))
                     .collect();
                 got_d.sort_by(f64::total_cmp);
                 for (g, (_, w)) in got_d.iter().zip(&want) {
@@ -141,7 +141,7 @@ fn random_fleet_answers_always_match_direct() {
             QuerySpec::Join { dist } => {
                 assert_eq!(
                     out.pairs,
-                    naive::join_naive(server.store(), *dist),
+                    naive::join_naive(server.snapshot().store(), *dist),
                     "round {round}"
                 );
             }
@@ -208,7 +208,7 @@ fn peer_chain_shrinks_the_remainder_monotonically() {
     let QuerySpec::Range { window } = big else {
         unreachable!()
     };
-    assert_eq!(got, naive::range_naive(server.store(), &window));
+    assert_eq!(got, naive::range_naive(server.snapshot().store(), &window));
 }
 
 #[test]

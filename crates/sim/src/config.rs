@@ -72,6 +72,11 @@ pub struct SimConfig {
     pub window: usize,
     /// Cross-check every answer against the direct query (slow; tests).
     pub verify: bool,
+    /// Proactive clients speak the §7 versioned-remainder protocol
+    /// (epoch-stamped contacts, resubmit on `Stale`). Required when the
+    /// server churns under a fleet; off by default so update-free runs
+    /// stay byte-identical to the paper's protocol.
+    pub versioned: bool,
     pub seed: u64,
 }
 
@@ -99,6 +104,7 @@ impl SimConfig {
             drifting_k: None,
             window: 500,
             verify: false,
+            versioned: false,
             seed: 2005,
         }
     }

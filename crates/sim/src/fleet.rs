@@ -5,11 +5,27 @@
 //! read path is `&self`, its adaptive table is per-client), so a
 //! concurrent fleet run produces exactly the per-client metrics of the
 //! same sessions run sequentially — only wall-clock CPU timings differ.
+//!
+//! With [`Fleet::churn`], an **update driver** thread runs alongside the
+//! workers, injecting paper-§6-style update batches through the epoch-swap
+//! `&self` [`apply_updates`](pc_server::ServerCore::apply_updates) path
+//! while sessions keep querying. Churn makes sessions speak the §7
+//! versioned protocol (resubmit on `Stale`, invalidation bytes charged to
+//! their ledgers); per-query outcomes then depend on update/query
+//! interleaving, so a churned run is *not* deterministic — but every
+//! contact answer is exact for its epoch, and the per-client ledgers
+//! still merge order-insensitively. The driver paces itself against the
+//! fleet's completed-query count, so the configured rate holds regardless
+//! of host speed.
 
 use crate::config::SimConfig;
 use crate::metrics::SimResult;
 use crate::session::ClientSession;
-use pc_server::{ClientId, ServerHandle};
+use crate::updates::{generate_update, ChurnConfig};
+use pc_server::{ClientId, ServerHandle, Update};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Instant;
 
 /// Builder/driver for a fleet of concurrent client sessions.
@@ -18,6 +34,7 @@ pub struct Fleet {
     cfg: SimConfig,
     clients: u32,
     threads: usize,
+    churn: Option<ChurnConfig>,
 }
 
 /// What a fleet run produced.
@@ -29,6 +46,10 @@ pub struct FleetResult {
     pub merged: SimResult,
     /// Wall-clock seconds for the whole fleet run.
     pub wall_s: f64,
+    /// Updates the churn driver applied (0 without churn).
+    pub updates_applied: u64,
+    /// Server epoch when the run finished (0 without churn).
+    pub final_epoch: u64,
 }
 
 impl FleetResult {
@@ -43,6 +64,8 @@ impl FleetResult {
             per_client,
             merged,
             wall_s,
+            updates_applied: 0,
+            final_epoch: 0,
         }
     }
 
@@ -70,6 +93,7 @@ impl Fleet {
             cfg,
             clients: 1,
             threads: 0,
+            churn: None,
         }
     }
 
@@ -86,6 +110,19 @@ impl Fleet {
         self
     }
 
+    /// Injects a server-update workload while the fleet runs. A positive
+    /// rate switches sessions to the §7 versioned protocol (they must
+    /// handle `Stale` refusals); rate 0 is a no-op, keeping the run
+    /// bit-identical to an update-free fleet.
+    pub fn churn(mut self, churn: ChurnConfig) -> Self {
+        if churn.rate_per_100 > 0 {
+            assert!(churn.batch > 0, "churn batches must be non-empty");
+            self.cfg.versioned = true;
+            self.churn = Some(churn);
+        }
+        self
+    }
+
     fn effective_threads(&self) -> usize {
         let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
         let cap = if self.threads == 0 { hw } else { self.threads };
@@ -94,41 +131,96 @@ impl Fleet {
 
     /// Runs the fleet concurrently on scoped threads: client ids are dealt
     /// round-robin to workers, each worker drives its sessions to
-    /// completion against the shared server handle.
+    /// completion against the shared server handle, while the optional
+    /// update driver churns the server at the configured rate.
     pub fn run(&self, server: &dyn ServerHandle) -> FleetResult {
         let start = Instant::now();
         let workers = self.effective_threads();
         let cfg = self.cfg;
         let clients = self.clients;
-        let results = std::thread::scope(|scope| {
+        let issued = AtomicU64::new(0);
+        let stop = AtomicBool::new(false);
+        let (results, churn_out) = std::thread::scope(|scope| {
+            let driver = self.churn.map(|churn| {
+                let issued = &issued;
+                let stop = &stop;
+                scope.spawn(move || drive_updates(server, churn, issued, stop))
+            });
             let handles: Vec<_> = (0..workers)
                 .map(|w| {
+                    let issued = &issued;
                     scope.spawn(move || {
                         let mut out = Vec::new();
                         let mut id = w as u32;
                         while id < clients {
-                            out.push((id, ClientSession::new(&cfg, server, id).run(server)));
+                            out.push((
+                                id,
+                                ClientSession::new(&cfg, server, id).run_counted(server, issued),
+                            ));
                             id += workers as u32;
                         }
                         out
                     })
                 })
                 .collect();
-            handles
+            let results: Vec<_> = handles
                 .into_iter()
                 .flat_map(|h| h.join().expect("fleet worker panicked"))
-                .collect::<Vec<_>>()
+                .collect();
+            stop.store(true, Ordering::Release);
+            let churn_out = driver.map(|d| d.join().expect("update driver panicked"));
+            (results, churn_out)
         });
-        FleetResult::collect(results, start.elapsed().as_secs_f64())
+        let mut out = FleetResult::collect(results, start.elapsed().as_secs_f64());
+        if let Some((applied, epoch)) = churn_out {
+            out.updates_applied = applied;
+            out.final_epoch = epoch;
+        }
+        out
     }
 
     /// Runs the same sessions one after another on the calling thread —
-    /// the reference for the concurrency-determinism tests.
+    /// the reference for the concurrency-determinism tests. Churn is not
+    /// injected here (the reference stream is update-free by definition).
     pub fn run_sequential(&self, server: &dyn ServerHandle) -> FleetResult {
         let start = Instant::now();
         let results = (0..self.clients)
             .map(|id| (id, ClientSession::new(&self.cfg, server, id).run(server)))
             .collect();
         FleetResult::collect(results, start.elapsed().as_secs_f64())
+    }
+}
+
+/// The update-driver loop: applies `churn.rate_per_100` updates per 100
+/// completed fleet queries, in batches of `churn.batch` (one epoch bump
+/// each), until the workers finish — then drains the remaining quota so
+/// the applied count is a deterministic function of the total query count.
+/// The update *stream* is seeded and deterministic; only its interleaving
+/// with queries is scheduling-dependent (which is the point: callers
+/// measure the protocol under real races).
+fn drive_updates(
+    server: &dyn ServerHandle,
+    churn: ChurnConfig,
+    issued: &AtomicU64,
+    stop: &AtomicBool,
+) -> (u64, u64) {
+    let core = server.core();
+    let mut rng = SmallRng::seed_from_u64(churn.seed);
+    let mut applied = 0u64;
+    let mut epoch = core.epoch();
+    loop {
+        let finished = stop.load(Ordering::Acquire);
+        let target = issued.load(Ordering::Acquire) * churn.rate_per_100 as u64 / 100;
+        while applied < target {
+            let n = churn.batch.min((target - applied) as usize);
+            let n_live = core.pin().store().len() as u32;
+            let batch: Vec<Update> = (0..n).map(|_| generate_update(&mut rng, n_live)).collect();
+            epoch = core.apply_updates(&batch);
+            applied += n as u64;
+        }
+        if finished {
+            return (applied, epoch);
+        }
+        std::thread::sleep(std::time::Duration::from_micros(200));
     }
 }

@@ -52,6 +52,12 @@ pub struct QueryRecord {
     /// Of those, not served locally (the numerator of fmr).
     pub false_misses: u32,
     pub contacted: bool,
+    /// Extra round trips caused by stale refusals (§7 invalidation
+    /// protocol; 0 unless the run uses versioned remainders under churn).
+    pub stale_retries: u32,
+    /// Downlink bytes of invalidation lists + epoch stamps piggybacked on
+    /// versioned replies (already included in `downlink_bytes`).
+    pub invalidation_bytes: u64,
     pub client_cpu_s: f64,
     pub server_cpu_s: f64,
     pub client_expansions: u64,
@@ -70,6 +76,8 @@ pub struct SummaryTotals {
     pub cached_results: u64,
     pub false_misses: u64,
     pub contacts: u64,
+    pub stale_retries: u64,
+    pub invalidation_bytes: u64,
     pub client_expansions: u64,
     /// Sum of per-query §4.1 response times over queries with results.
     pub response_s: f64,
@@ -89,6 +97,8 @@ impl SummaryTotals {
         self.cached_results += r.cached_results as u64;
         self.false_misses += r.false_misses as u64;
         self.contacts += r.contacted as u64;
+        self.stale_retries += r.stale_retries as u64;
+        self.invalidation_bytes += r.invalidation_bytes;
         self.client_expansions += r.client_expansions;
         if r.result_bytes > 0 {
             self.response_s += r.avg_response_s;
@@ -109,6 +119,8 @@ impl SummaryTotals {
             cached_results: self.cached_results + other.cached_results,
             false_misses: self.false_misses + other.false_misses,
             contacts: self.contacts + other.contacts,
+            stale_retries: self.stale_retries + other.stale_retries,
+            invalidation_bytes: self.invalidation_bytes + other.invalidation_bytes,
             client_expansions: self.client_expansions + other.client_expansions,
             response_s: self.response_s + other.response_s,
             response_queries: self.response_queries + other.response_queries,
@@ -136,6 +148,8 @@ pub struct Summary {
     pub avg_server_cpu_ms: f64,
     /// Fraction of queries that contacted the server.
     pub contact_rate: f64,
+    /// Stale refusals per server contact (§7 invalidation under churn).
+    pub stale_retry_rate: f64,
     pub avg_client_expansions: f64,
     /// The raw sums this summary derives from (basis for exact merging).
     pub totals: SummaryTotals,
@@ -172,6 +186,7 @@ impl Summary {
             avg_client_cpu_ms: totals.client_cpu_s * 1e3 / nf,
             avg_server_cpu_ms: totals.server_cpu_s * 1e3 / nf,
             contact_rate: totals.contacts as f64 / nf,
+            stale_retry_rate: ratio(totals.stale_retries, totals.contacts),
             avg_client_expansions: totals.client_expansions as f64 / nf,
             totals,
         }

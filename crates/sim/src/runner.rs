@@ -11,7 +11,10 @@ use pc_cache::Catalog;
 use pc_client::Client;
 use pc_geom::Point;
 use pc_net::Ledger;
-use pc_rtree::proto::{QuerySpec, Request, CONFIRM_BYTES, OBJECT_HEADER_BYTES, PAIR_BYTES};
+use pc_rtree::proto::{
+    QuerySpec, Request, VersionedReply, CONFIRM_BYTES, EPOCH_BYTES, INVALIDATION_BYTES,
+    OBJECT_HEADER_BYTES, PAIR_BYTES,
+};
 use pc_rtree::ObjectId;
 use pc_server::{ClientId, ServerHandle};
 use std::time::Instant;
@@ -30,6 +33,11 @@ pub struct RunOutput {
     /// measured total to get client CPU).
     pub server_cpu_s: f64,
     pub client_expansions: u64,
+    /// Extra round trips after stale refusals (versioned protocol only).
+    pub stale_retries: u32,
+    /// Invalidation-list + epoch-stamp downlink bytes (versioned protocol
+    /// only; also charged into the ledger's extra downlink).
+    pub invalidation_bytes: u64,
 }
 
 /// A caching model under simulation. `Send` so a fleet can drive one
@@ -63,14 +71,18 @@ pub(crate) fn make_runner(
             cache: SemanticCache::new(capacity),
             client,
         }),
-        CacheModel::Proactive => Box::new(
-            ProactiveRunner::new(
-                capacity,
-                cfg.policy,
-                Catalog::from_tree(server.core().tree()),
+        CacheModel::Proactive => {
+            // Catalog and starting epoch come from one pin: the client
+            // begins life synced to the world its catalog describes, so
+            // its first contact is not spuriously refused as stale.
+            let snap = server.core().pin();
+            Box::new(
+                ProactiveRunner::new(capacity, cfg.policy, Catalog::from_tree(snap.tree()))
+                    .with_client(client)
+                    .versioned(cfg.versioned)
+                    .at_epoch(snap.epoch()),
             )
-            .with_client(client),
-        ),
+        }
     }
 }
 
@@ -103,7 +115,7 @@ impl ModelRunner for PageRunner {
             cached_results: a.cached_results,
             locally_served: a.locally_served,
             server_cpu_s,
-            client_expansions: 0,
+            ..Default::default()
         }
     }
 
@@ -147,7 +159,7 @@ impl ModelRunner for SemanticRunner {
             cached_results: a.cached_results,
             locally_served: a.locally_served,
             server_cpu_s,
-            client_expansions: 0,
+            ..Default::default()
         }
     }
 
@@ -169,6 +181,11 @@ pub struct ProactiveRunner {
     /// The id this runner identifies as in remainder queries and fmr
     /// reports — it selects the server-side adaptive state (§4.3).
     client_id: ClientId,
+    /// Speak the §7 versioned protocol: epoch-stamped contacts, cache
+    /// invalidation + stage-① re-run + resubmit on `Stale`.
+    versioned: bool,
+    /// Last epoch this client synced to (versioned protocol only).
+    epoch: u64,
 }
 
 impl ProactiveRunner {
@@ -176,6 +193,8 @@ impl ProactiveRunner {
         ProactiveRunner {
             client: Client::new(capacity, policy, catalog),
             client_id: 0,
+            versioned: false,
+            epoch: 0,
         }
     }
 
@@ -185,12 +204,144 @@ impl ProactiveRunner {
         self
     }
 
+    /// Switches the §7 versioned-remainder protocol on or off.
+    pub fn versioned(mut self, on: bool) -> Self {
+        self.versioned = on;
+        self
+    }
+
+    /// Declares the epoch this client's catalog/cache state was built
+    /// from — its first versioned contact carries this stamp instead of
+    /// claiming the (possibly long-gone) epoch 0.
+    pub fn at_epoch(mut self, epoch: u64) -> Self {
+        self.epoch = epoch;
+        self
+    }
+
     pub fn client(&self) -> &Client {
         &self.client
     }
 
     pub fn client_id(&self) -> ClientId {
         self.client_id
+    }
+
+    /// Runs one query through versioned contacts, invalidating and
+    /// resubmitting after stale refusals. Same accounting conventions as
+    /// the plain path, plus: each contact's uplink carries the epoch
+    /// stamp, each reply's invalidation list + epoch stamp land in the
+    /// extra downlink, and retries repeat the full uplink + server time.
+    fn run_query_versioned(
+        &mut self,
+        server: &dyn ServerHandle,
+        spec: &QuerySpec,
+        pos: Point,
+        server_time_s: f64,
+    ) -> RunOutput {
+        // Pinned once per query: epochs only advance, and everything the
+        // client can reference (its cache, confirmed ids) was known by
+        // this pin's epoch, so size lookups never miss.
+        let snap = server.core().pin();
+        let store = snap.store();
+        self.client.begin_query();
+        let mut ledger = Ledger::default();
+        let mut server_cpu_s = 0.0;
+        let mut stale_retries = 0u32;
+        let mut invalidation_bytes = 0u64;
+        // A stale refusal advances the client to the refusing epoch, so
+        // each retry needs a *new* epoch to land mid-query to repeat; the
+        // churn driver's pacing makes long runs vanishingly unlikely, and
+        // the cap turns a livelock into a loud failure.
+        for _attempt in 0..64 {
+            let local = self.client.run_local(spec);
+            ledger.saved_bytes = local
+                .saved
+                .iter()
+                .map(|&id| store.get(id).size_bytes as u64)
+                .sum();
+            let Some(rq) = &local.remainder else {
+                let answer = self.client.assemble(&local, None);
+                return RunOutput {
+                    ledger,
+                    objects: answer.objects,
+                    pairs: answer.pairs,
+                    cached_results: local.saved.clone(),
+                    locally_served: local.saved,
+                    server_cpu_s,
+                    client_expansions: local.expansions,
+                    stale_retries,
+                    invalidation_bytes,
+                };
+            };
+            let req = Request::RemainderVersioned {
+                query: rq.clone(),
+                epoch: self.epoch,
+            };
+            ledger.contacted_server = true;
+            ledger.uplink_bytes += req.wire_bytes();
+            ledger.server_time_s += server_time_s;
+            let t = Instant::now();
+            let resp = server.call(self.client_id, req).into_versioned();
+            server_cpu_s += t.elapsed().as_secs_f64();
+            match resp {
+                VersionedReply::Fresh {
+                    reply,
+                    invalidate,
+                    epoch,
+                } => {
+                    let inv = invalidate.len() as u64 * INVALIDATION_BYTES;
+                    invalidation_bytes += inv + EPOCH_BYTES;
+                    for &n in &invalidate {
+                        self.client.cache_mut().invalidate_node(n);
+                    }
+                    self.epoch = epoch;
+                    ledger.confirmed_bytes = reply
+                        .confirmed
+                        .iter()
+                        .map(|&id| store.get(id).size_bytes as u64)
+                        .sum();
+                    ledger.confirm_wire_bytes = reply.confirmed.len() as u64 * CONFIRM_BYTES;
+                    ledger.transmitted = reply.objects.iter().map(|o| o.size_bytes).collect();
+                    ledger.transmitted_header_bytes =
+                        reply.objects.len() as u64 * OBJECT_HEADER_BYTES;
+                    ledger.extra_downlink_bytes += reply.index_bytes()
+                        + reply.pairs.len() as u64 * PAIR_BYTES
+                        + inv
+                        + EPOCH_BYTES;
+                    let mut cached_results = local.saved.clone();
+                    cached_results.extend(reply.confirmed.iter().copied());
+                    self.client.absorb(&reply, pos);
+                    let answer = self.client.assemble(&local, Some(&reply));
+                    return RunOutput {
+                        ledger,
+                        objects: answer.objects,
+                        pairs: answer.pairs,
+                        cached_results,
+                        locally_served: local.saved.clone(),
+                        server_cpu_s,
+                        client_expansions: local.expansions,
+                        stale_retries,
+                        invalidation_bytes,
+                    };
+                }
+                VersionedReply::Stale { invalidate, epoch } => {
+                    stale_retries += 1;
+                    let inv = invalidate.len() as u64 * INVALIDATION_BYTES;
+                    invalidation_bytes += inv + EPOCH_BYTES;
+                    ledger.extra_downlink_bytes += inv + EPOCH_BYTES;
+                    for &n in &invalidate {
+                        self.client.cache_mut().invalidate_node(n);
+                    }
+                    self.epoch = epoch;
+                    // Loop: re-run stage ① against the cleaned cache.
+                }
+            }
+        }
+        panic!(
+            "client {}: stale retries did not converge in 64 attempts — \
+             the update driver is outpacing every query",
+            self.client_id
+        );
     }
 }
 
@@ -202,9 +353,13 @@ impl ModelRunner for ProactiveRunner {
         pos: Point,
         server_time_s: f64,
     ) -> RunOutput {
+        if self.versioned {
+            return self.run_query_versioned(server, spec, pos, server_time_s);
+        }
         self.client.begin_query();
         let local = self.client.run_local(spec);
-        let store = server.core().store();
+        let snap = server.core().pin();
+        let store = snap.store();
 
         let mut ledger = Ledger {
             saved_bytes: local
@@ -252,6 +407,8 @@ impl ModelRunner for ProactiveRunner {
             locally_served: local.saved.clone(),
             server_cpu_s,
             client_expansions: local.expansions,
+            stale_retries: 0,
+            invalidation_bytes: 0,
         }
     }
 

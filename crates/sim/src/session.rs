@@ -47,7 +47,7 @@ pub struct ClientSession {
 
 impl ClientSession {
     pub fn new(cfg: &SimConfig, server: &dyn ServerHandle, id: ClientId) -> Self {
-        let capacity = cfg.cache_bytes(server.core().store().total_bytes());
+        let capacity = cfg.cache_bytes(server.core().pin().store().total_bytes());
         let seed = client_seed(cfg.seed, id);
         ClientSession {
             id,
@@ -141,7 +141,8 @@ impl ClientSession {
         }
 
         let (used, index_bytes) = self.runner.cache_stats();
-        let store = server.core().store();
+        let snap = server.core().pin();
+        let store = snap.store();
         self.result.push(
             QueryRecord {
                 kind: QueryKind::of(&spec),
@@ -162,6 +163,8 @@ impl ClientSession {
                 cached_results: cached as u32,
                 false_misses: (cached - served) as u32,
                 contacted: out.ledger.contacted_server,
+                stale_retries: out.stale_retries,
+                invalidation_bytes: out.invalidation_bytes,
                 client_cpu_s: client_cpu,
                 server_cpu_s: out.server_cpu_s,
                 client_expansions: out.client_expansions,
@@ -185,8 +188,28 @@ impl ClientSession {
     /// long-lived server under session churn drains instead of
     /// accumulating dead entries. The disconnect's wire bytes are charged
     /// to the final query's record (it is the session's last traffic).
-    pub fn run(mut self, server: &dyn ServerHandle) -> SimResult {
-        while self.step(server) {}
+    pub fn run(self, server: &dyn ServerHandle) -> SimResult {
+        self.run_counted(server, &std::sync::atomic::AtomicU64::new(0))
+    }
+
+    /// [`run`](Self::run), bumping `issued` after every completed query —
+    /// the progress feed the fleet's update driver paces its churn
+    /// against. The counter changes nothing about the stream itself.
+    pub fn run_counted(
+        mut self,
+        server: &dyn ServerHandle,
+        issued: &std::sync::atomic::AtomicU64,
+    ) -> SimResult {
+        loop {
+            let before = self.issued;
+            let more = self.step(server);
+            if self.issued > before {
+                issued.fetch_add(1, std::sync::atomic::Ordering::Release);
+            }
+            if !more {
+                break;
+            }
+        }
         let req = Request::Forget;
         let uplink = req.wire_bytes();
         let reply = server.call(self.id, req);
@@ -207,7 +230,8 @@ fn verify_against_direct(
     out: &RunOutput,
 ) {
     let direct = server.call(0, Request::Direct(*spec)).into_direct();
-    let store = server.core().store();
+    let snap = server.core().pin();
+    let store = snap.store();
     match spec {
         pc_rtree::proto::QuerySpec::Join { .. } => {
             let mut got = out.pairs.clone();

@@ -1,15 +1,23 @@
-//! Client driver for the §7 update/invalidation extension: wraps the
-//! proactive [`Client`] with epoch tracking and the stale-retry loop.
+//! Client and workload drivers for the §7 update/invalidation extension:
+//! [`UpdatingClient`] wraps the proactive [`Client`] with epoch tracking
+//! and the stale-retry loop (the single-threaded reference
+//! implementation; fleet sessions speak the same protocol through
+//! `ProactiveRunner`'s versioned mode), and [`ChurnConfig`] +
+//! [`generate_update`] describe the paper-§6-style update workload the
+//! fleet's update-driver thread injects while sessions run.
 
 use pc_cache::{Catalog, ReplacementPolicy};
 use pc_client::{Client, QueryAnswer};
-use pc_geom::Point;
+use pc_geom::{Point, Rect};
 use pc_net::Ledger;
 use pc_rtree::proto::{
-    QuerySpec, Request, CONFIRM_BYTES, INVALIDATION_BYTES, OBJECT_HEADER_BYTES, PAIR_BYTES,
+    QuerySpec, Request, CONFIRM_BYTES, EPOCH_BYTES, INVALIDATION_BYTES, OBJECT_HEADER_BYTES,
+    PAIR_BYTES,
 };
-use pc_rtree::NodeId;
-use pc_server::{ServerHandle, VersionedReply};
+use pc_rtree::{NodeId, ObjectId};
+use pc_server::{ServerHandle, Update, VersionedReply};
+use rand::rngs::SmallRng;
+use rand::Rng;
 
 /// Outcome of one version-aware query.
 #[derive(Clone, Debug, Default)]
@@ -64,7 +72,8 @@ impl UpdatingClient {
         pos: Point,
         server_time_s: f64,
     ) -> UpdatingOutcome {
-        let store = server.core().store();
+        let snap = server.core().pin();
+        let store = snap.store();
         let mut out = UpdatingOutcome::default();
         self.client.begin_query();
         // A stale refusal can only happen once per update epoch the client
@@ -96,7 +105,8 @@ impl UpdatingClient {
                     epoch,
                 } => {
                     out.invalidated_items += self.apply_invalidations(&invalidate);
-                    out.ledger.extra_downlink_bytes += invalidate.len() as u64 * INVALIDATION_BYTES;
+                    out.ledger.extra_downlink_bytes +=
+                        invalidate.len() as u64 * INVALIDATION_BYTES + EPOCH_BYTES;
                     self.epoch = epoch;
                     out.ledger.confirmed_bytes += reply
                         .confirmed
@@ -117,7 +127,8 @@ impl UpdatingClient {
                 }
                 VersionedReply::Stale { invalidate, epoch } => {
                     out.invalidated_items += self.apply_invalidations(&invalidate);
-                    out.ledger.extra_downlink_bytes += invalidate.len() as u64 * INVALIDATION_BYTES;
+                    out.ledger.extra_downlink_bytes +=
+                        invalidate.len() as u64 * INVALIDATION_BYTES + EPOCH_BYTES;
                     self.epoch = epoch;
                     // Loop: re-run stage ① against the cleaned cache.
                 }
@@ -127,5 +138,56 @@ impl UpdatingClient {
             "stale retries did not converge — updates racing the retry loop \
              are impossible in a single-threaded simulation"
         );
+    }
+}
+
+/// Server-update workload injected under a running fleet (paper §6-style
+/// mix of moves, inserts and deletes; cf. the `ext_invalidation`
+/// experiment's single-client rates).
+#[derive(Clone, Copy, Debug)]
+pub struct ChurnConfig {
+    /// Updates applied per 100 completed queries, fleet-wide. 0 disables
+    /// churn entirely (no driver thread, plain protocol) so a 0-rate
+    /// fleet stays bit-identical to an update-free one.
+    pub rate_per_100: u32,
+    /// Updates per applied batch — one epoch bump per batch.
+    pub batch: usize,
+    /// Seed of the update stream (decorrelated from the query seed).
+    pub seed: u64,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        ChurnConfig {
+            rate_per_100: 0,
+            batch: 1,
+            seed: 0x5EED_CAFE,
+        }
+    }
+}
+
+/// One update of the churn mix: half moves (mobile objects relocating),
+/// a quarter inserts, a quarter deletes — net cardinality stays roughly
+/// flat while the index keeps restructuring. `n_live` is the current
+/// store size (dense ids; deletes of already-tombstoned ids are no-ops
+/// the server ignores).
+pub fn generate_update(rng: &mut SmallRng, n_live: u32) -> Update {
+    let roll = rng.random_range(0..4u32);
+    let random_point = |rng: &mut SmallRng| {
+        Rect::from_point(Point::new(
+            rng.random_range(0.0..1.0),
+            rng.random_range(0.0..1.0),
+        ))
+    };
+    match roll {
+        0 | 1 => Update::Move {
+            id: ObjectId(rng.random_range(0..n_live)),
+            to: random_point(rng),
+        },
+        2 => Update::Insert {
+            mbr: random_point(rng),
+            size_bytes: 10_000,
+        },
+        _ => Update::Delete(ObjectId(rng.random_range(0..n_live))),
     }
 }

@@ -29,16 +29,16 @@ fn main() {
     let server = Server::new(store, RTreeConfig::paper(), ServerConfig::default());
     println!(
         "index: {} nodes, height {}, BPT overhead {:.2}x",
-        server.tree().stats().node_count,
-        server.tree().height(),
-        server.bpt_bytes() as f64 / server.tree().stats().index_bytes as f64
+        server.snapshot().tree().stats().node_count,
+        server.snapshot().tree().height(),
+        server.bpt_bytes() as f64 / server.snapshot().tree().stats().index_bytes as f64
     );
 
     // 3. A mobile client with a 1 MB proactive cache under GRD3.
     let mut client = Client::new(
         1 << 20,
         ReplacementPolicy::Grd3,
-        Catalog::from_tree(server.tree()),
+        Catalog::from_tree(server.snapshot().tree()),
     );
     let here = Point::new(0.31, 0.36); // downtown in the first cluster
     let channel = Channel::paper();
@@ -55,7 +55,7 @@ fn main() {
             saved_bytes: local
                 .saved
                 .iter()
-                .map(|&id| server.store().get(id).size_bytes as u64)
+                .map(|&id| server.snapshot().store().get(id).size_bytes as u64)
                 .sum(),
             ..Default::default()
         };

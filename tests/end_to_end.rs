@@ -38,7 +38,8 @@ fn pipeline(
 fn check_dataset(kind: &str, server: &Server, seed: u64) {
     for form in [FormPolicy::Full, FormPolicy::Compact, FormPolicy::Adaptive] {
         // Rebuild the server with this form (same dataset/seed).
-        let store = procache::rtree::ObjectStore::new(server.store().iter().copied().collect());
+        let store =
+            procache::rtree::ObjectStore::new(server.snapshot().store().iter().copied().collect());
         let server = Server::new(
             store,
             RTreeConfig::small(),
@@ -48,7 +49,8 @@ fn check_dataset(kind: &str, server: &Server, seed: u64) {
             },
         );
         for policy in [ReplacementPolicy::Grd3, ReplacementPolicy::Lru] {
-            let mut client = Client::new(40_000, policy, Catalog::from_tree(server.tree()));
+            let mut client =
+                Client::new(40_000, policy, Catalog::from_tree(server.snapshot().tree()));
             let mut rng = SmallRng::seed_from_u64(seed);
             let mut pos = Point::new(0.4, 0.4);
             for round in 0..40 {
@@ -77,16 +79,16 @@ fn check_dataset(kind: &str, server: &Server, seed: u64) {
                     QuerySpec::Range { window } => {
                         assert_eq!(
                             objs,
-                            naive::range_naive(server.store(), window),
+                            naive::range_naive(server.snapshot().store(), window),
                             "{kind}/{form:?}/{policy} round {round}"
                         );
                     }
                     QuerySpec::Knn { center, k } => {
-                        let want = naive::knn_naive(server.store(), center, *k as usize);
+                        let want = naive::knn_naive(server.snapshot().store(), center, *k as usize);
                         assert_eq!(objs.len(), want.len());
                         let mut got_d: Vec<f64> = objs
                             .iter()
-                            .map(|id| server.store().get(*id).mbr.min_dist(center))
+                            .map(|id| server.snapshot().store().get(*id).mbr.min_dist(center))
                             .collect();
                         got_d.sort_by(f64::total_cmp);
                         for (g, (_, w)) in got_d.iter().zip(&want) {
@@ -101,7 +103,7 @@ fn check_dataset(kind: &str, server: &Server, seed: u64) {
                         got.sort_unstable();
                         assert_eq!(
                             got,
-                            naive::join_naive(server.store(), *dist),
+                            naive::join_naive(server.snapshot().store(), *dist),
                             "{kind}/{form:?}/{policy} round {round}"
                         );
                     }
@@ -141,7 +143,7 @@ fn paper_fanout_tree_pipeline_is_exact() {
     let mut client = Client::new(
         300_000,
         ReplacementPolicy::Grd3,
-        Catalog::from_tree(server.tree()),
+        Catalog::from_tree(server.snapshot().tree()),
     );
     let mut rng = SmallRng::seed_from_u64(5);
     for round in 0..30 {
@@ -157,7 +159,7 @@ fn paper_fanout_tree_pipeline_is_exact() {
         if let QuerySpec::Range { window } = &spec {
             assert_eq!(
                 objs,
-                naive::range_naive(server.store(), window),
+                naive::range_naive(server.snapshot().store(), window),
                 "round {round}"
             );
         }

@@ -10,10 +10,14 @@
 //!     identical to the sequential runner, and a concurrent batched fleet
 //!     matches direct dispatch client by client;
 //! (d) completed sessions disconnect (`Forget`), so the server's adaptive
-//!     table drains back to empty after every run.
+//!     table drains back to empty after every run;
+//! (e) a fleet with a 0-rate churn config is bit-identical to the plain
+//!     fleet (no driver, no versioned envelopes), while a churned fleet
+//!     completes with the §7 protocol's stale-retry and invalidation
+//!     bytes in its ledgers, which stay merge-order-insensitive.
 
 use procache::server::{BatchConfig, BatchedService};
-use procache::sim::{self, CacheModel, Fleet, SimConfig, SimResult, Summary};
+use procache::sim::{self, CacheModel, ChurnConfig, Fleet, SimConfig, SimResult, Summary};
 
 fn fleet_cfg(model: CacheModel) -> SimConfig {
     let mut cfg = SimConfig::small();
@@ -27,7 +31,7 @@ fn fleet_cfg(model: CacheModel) -> SimConfig {
 }
 
 /// The deterministic (non-wall-clock) slice of a summary.
-fn deterministic_parts(s: &Summary) -> (usize, [u64; 7], [f64; 6]) {
+fn deterministic_parts(s: &Summary) -> (usize, [u64; 9], [f64; 6]) {
     (
         s.queries,
         [
@@ -38,6 +42,8 @@ fn deterministic_parts(s: &Summary) -> (usize, [u64; 7], [f64; 6]) {
             s.totals.cached_results,
             s.totals.false_misses,
             s.totals.contacts,
+            s.totals.stale_retries,
+            s.totals.invalidation_bytes,
         ],
         [
             s.avg_uplink_bytes,
@@ -186,6 +192,125 @@ fn concurrent_fleet_matches_sequential_sessions() {
         server.tracked_clients(),
         0,
         "every finished session must have sent Forget"
+    );
+}
+
+#[test]
+fn zero_rate_churn_fleet_is_bit_identical_to_plain_fleet() {
+    // `--update-rate 0` must change *nothing*: no driver thread, plain
+    // (unversioned) protocol, byte-identical streams — the PR 3 fleet.
+    let cfg = fleet_cfg(CacheModel::Proactive);
+    let clients = 2;
+
+    let server = sim::build_server(&cfg);
+    let plain = Fleet::new(cfg).clients(clients).run(&server);
+
+    let server = sim::build_server(&cfg);
+    let zero_rate = Fleet::new(cfg)
+        .clients(clients)
+        .churn(ChurnConfig {
+            rate_per_100: 0,
+            ..Default::default()
+        })
+        .run(&server);
+
+    assert_eq!(zero_rate.updates_applied, 0);
+    assert_eq!(zero_rate.final_epoch, 0);
+    for (c, (a, b)) in zero_rate
+        .per_client
+        .iter()
+        .zip(&plain.per_client)
+        .enumerate()
+    {
+        assert_same_stream(a, b, &format!("0-rate churn client {c}"));
+    }
+    assert_same_stream(&zero_rate.merged, &plain.merged, "0-rate churn merged");
+}
+
+#[test]
+fn churn_fleet_completes_with_stale_retry_bytes_in_ledger() {
+    // A fleet with updates racing its queries completes, the driver
+    // applies its full quota, and the §7 protocol's costs land in the
+    // ledgers. Whether a particular run suffers stale refusals depends on
+    // scheduling, so retry a few times — with 2 updates per query on
+    // three clients, a refusal-free run is vanishingly rare.
+    let mut cfg = fleet_cfg(CacheModel::Proactive);
+    cfg.n_queries = 120;
+    let clients = 3;
+    let mut saw_retries = false;
+    for attempt in 0..5 {
+        let server = sim::build_server(&cfg);
+        let out = Fleet::new(cfg)
+            .clients(clients)
+            .threads(4)
+            .churn(ChurnConfig {
+                rate_per_100: 200,
+                batch: 2,
+                seed: 0xC0FFEE + attempt,
+            })
+            .run(&server);
+
+        // Completion under churn: every session finished its budget and
+        // disconnected; the driver drained its full update quota.
+        assert_eq!(out.total_queries(), clients as usize * cfg.n_queries);
+        assert_eq!(server.tracked_clients(), 0);
+        assert_eq!(
+            out.updates_applied,
+            out.total_queries() as u64 * 2,
+            "driver quota is a deterministic function of the query count"
+        );
+        assert!(out.final_epoch > 0);
+        assert_eq!(server.snapshot().epoch(), out.final_epoch);
+
+        // Per-client ledgers merge order-insensitively: the integer byte
+        // and count sums are exact in any fold order (the wall-clock f64
+        // accumulators may differ in the last ulp, which is why the
+        // determinism pins exclude them).
+        let ledger = |t: &procache::sim::SummaryTotals| {
+            [
+                t.uplink_bytes,
+                t.downlink_bytes,
+                t.result_bytes,
+                t.saved_bytes,
+                t.cached_result_bytes,
+                t.cached_results,
+                t.false_misses,
+                t.contacts,
+                t.stale_retries,
+                t.invalidation_bytes,
+                t.client_expansions,
+                t.response_queries,
+            ]
+        };
+        let mut fwd = SimResult::default();
+        for r in &out.per_client {
+            fwd.merge(r);
+        }
+        let mut rev = SimResult::default();
+        for r in out.per_client.iter().rev() {
+            rev.merge(r);
+        }
+        assert_eq!(fwd.summary.queries, rev.summary.queries);
+        assert_eq!(
+            ledger(&fwd.summary.totals),
+            ledger(&rev.summary.totals),
+            "merge order changed the combined ledger"
+        );
+
+        let t = &out.merged.summary.totals;
+        if t.stale_retries > 0 {
+            assert!(
+                t.invalidation_bytes > 0,
+                "a stale refusal always carries an invalidation list"
+            );
+            saw_retries = true;
+            break;
+        }
+    }
+    assert!(
+        saw_retries,
+        "no stale refusal in 5 churned runs — the update driver never \
+         raced a contact, which should be practically impossible"
     );
 }
 

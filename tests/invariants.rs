@@ -87,7 +87,7 @@ fn capacity_is_never_exceeded_across_models() {
         cfg.model = CacheModel::Proactive;
         cfg.cache_frac = frac;
         let server = sim::build_server(&cfg);
-        let cap = cfg.cache_bytes(server.store().total_bytes());
+        let cap = cfg.cache_bytes(server.snapshot().store().total_bytes());
         let r = sim::run(&cfg);
         // The window series carries the cache occupancy indirectly (i/c is
         // index/capacity); a direct assertion lives in the cache crate.

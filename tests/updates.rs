@@ -20,14 +20,14 @@ fn setup(n: usize, seed: u64) -> (Server, UpdatingClient) {
     let client = UpdatingClient::new(
         1 << 22,
         ReplacementPolicy::Grd3,
-        Catalog::from_tree(server.tree()),
+        Catalog::from_tree(server.snapshot().tree()),
     );
     (server, client)
 }
 
 #[test]
 fn contact_answers_track_updates_exactly() {
-    let (mut server, mut client) = setup(800, 1);
+    let (server, mut client) = setup(800, 1);
     let mut rng = SmallRng::seed_from_u64(2);
     let mut next_update = 0usize;
     for round in 0..80 {
@@ -67,10 +67,11 @@ fn contact_answers_track_updates_exactly() {
             let mut got = out.answer.objects.clone();
             got.sort_unstable();
             got.dedup();
-            let mut want = naive::range_naive(server.store(), window);
+            let mut want = naive::range_naive(server.snapshot().store(), window);
             // Tombstoned objects are not in the tree but remain in the
             // naive store scan — filter them.
             let deleted: std::collections::HashSet<ObjectId> = server
+                .snapshot()
                 .update_log()
                 .deleted_objects()
                 .iter()
@@ -84,7 +85,7 @@ fn contact_answers_track_updates_exactly() {
 
 #[test]
 fn stale_resume_costs_one_extra_round_trip() {
-    let (mut server, mut client) = setup(600, 3);
+    let (server, mut client) = setup(600, 3);
     let pos = Point::new(0.31, 0.36);
     let spec = QuerySpec::Range {
         window: Rect::centered_square(pos, 0.25),
@@ -96,7 +97,7 @@ fn stale_resume_costs_one_extra_round_trip() {
     // Update a node the warm cache definitely holds (delete an object in
     // the warmed window), then query a *wider* window so the client's
     // remainder references cached-but-stale structure.
-    let victim = naive::range_naive(server.store(), &Rect::centered_square(pos, 0.2))[0];
+    let victim = naive::range_naive(server.snapshot().store(), &Rect::centered_square(pos, 0.2))[0];
     server.apply_updates(&[Update::Delete(victim)]);
 
     let wider = QuerySpec::Range {
@@ -114,7 +115,7 @@ fn stale_resume_costs_one_extra_round_trip() {
     let QuerySpec::Range { window } = wider else {
         unreachable!()
     };
-    let mut want = naive::range_naive(server.store(), &window);
+    let mut want = naive::range_naive(server.snapshot().store(), &window);
     want.retain(|id| *id != victim);
     assert_eq!(got, want);
     assert!(
@@ -142,7 +143,7 @@ fn up_to_date_client_pays_no_invalidation_overhead() {
 fn repeated_update_query_cycles_stay_consistent() {
     // Tight loop of update → query on the same area: every contact answer
     // must track the moving object.
-    let (mut server, mut client) = setup(400, 5);
+    let (server, mut client) = setup(400, 5);
     let id = ObjectId(0);
     for step in 0..15 {
         let x = 0.1 + step as f64 * 0.05;
