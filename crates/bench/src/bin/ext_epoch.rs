@@ -1,0 +1,195 @@
+//! Epoch-cost extension experiment: what does publishing one update epoch
+//! cost now that snapshots are structurally shared?
+//!
+//! Before this change, `apply_updates` deep-cloned the whole world (tree,
+//! BPTs, object store, update log) per batch — O(dataset) time and fresh
+//! memory per epoch. With `Arc`-per-node copy-on-write slots, `Arc`-per-BPT
+//! stores and chunked store segments, a publish copies only what the batch
+//! touches: the root-to-leaf spines of edited nodes, the dirtied nodes'
+//! BPTs, and the store segments mutated objects live in.
+//!
+//! Two sweeps make that measurable:
+//!
+//! * **fixed batch, growing dataset** — publish latency and freshly
+//!   allocated bytes should stay ~flat (per-update work is O(depth), and
+//!   depth grows logarithmically);
+//! * **fixed dataset, growing batch** — both should grow ~linearly with
+//!   the batch.
+//!
+//! Per row: mean publish wall time, copied node slots / rebuilt BPTs /
+//! copied store segments per publish (diagnosed by `Arc` pointer equality
+//! against the previous pin), an estimate of freshly allocated bytes, and
+//! the update log's retained record count (bounded by pruning).
+//!
+//! `--json OUT` writes the rows as `BENCH_epoch.json` for the CI artifact
+//! trail.
+
+use pc_bench::{fmt_bytes, json, HarnessOpts, Table};
+use pc_rtree::proto::PAGE_BYTES;
+use pc_server::{Server, ServerConfig};
+use pc_sim::generate_update;
+use pc_workload::datasets;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Update batches applied (and averaged over) per row.
+const ROUNDS: usize = 24;
+
+/// One row of measurements: `ROUNDS` batches of `batch` updates against a
+/// server of `n_objects`, averaging publish latency and sharing diagnostics.
+struct Row {
+    objects: usize,
+    batch: usize,
+    nodes: usize,
+    publish_us: f64,
+    copied_nodes: f64,
+    rebuilt_bpts: f64,
+    copied_chunks: f64,
+    fresh_bytes: f64,
+    log_records: usize,
+}
+
+fn measure(n_objects: usize, batch: usize, seed: u64) -> Row {
+    let server = Server::new(
+        datasets::ne_like(n_objects, seed),
+        pc_rtree::RTreeConfig::paper(),
+        ServerConfig::default(),
+    );
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xE60C);
+    let mut publish_s = 0.0;
+    let mut copied_nodes = 0usize;
+    let mut rebuilt_bpts = 0usize;
+    let mut copied_chunks = 0usize;
+    let mut fresh_bytes = 0u64;
+    for _ in 0..ROUNDS {
+        let old = server.core().pin();
+        let n_live = old.store().len() as u32;
+        let updates: Vec<_> = (0..batch)
+            .map(|_| generate_update(&mut rng, n_live))
+            .collect();
+        let t = Instant::now();
+        server.apply_updates(&updates);
+        publish_s += t.elapsed().as_secs_f64();
+        let new = server.core().pin();
+
+        let copied = new.tree().slab_len() - new.tree().shared_node_slots(old.tree());
+        copied_nodes += copied;
+        let rebuilt = new.bpts().node_count() - new.bpts().shared_bpts(old.bpts());
+        rebuilt_bpts += rebuilt;
+        let chunks = new.store().chunk_count() - new.store().shared_chunks(old.store());
+        copied_chunks += chunks;
+        // Freshly allocated bytes per publish: copied index pages, the
+        // rebuilt BPTs (at the store's mean aux size) and copied store
+        // segments (40 bytes per object record).
+        let mean_bpt = new.bpt_bytes() / new.bpts().node_count().max(1) as u64;
+        fresh_bytes += copied as u64 * PAGE_BYTES
+            + rebuilt as u64 * mean_bpt
+            + chunks as u64 * pc_rtree::STORE_CHUNK_LEN as u64 * 40;
+    }
+    let snap = server.snapshot();
+    let rounds = ROUNDS as f64;
+    Row {
+        objects: n_objects,
+        batch,
+        nodes: snap.tree().slab_len(),
+        publish_us: publish_s * 1e6 / rounds,
+        copied_nodes: copied_nodes as f64 / rounds,
+        rebuilt_bpts: rebuilt_bpts as f64 / rounds,
+        copied_chunks: copied_chunks as f64 / rounds,
+        fresh_bytes: fresh_bytes as f64 / rounds,
+        log_records: snap.update_log().retained_records(),
+    }
+}
+
+fn render(rows: &[Row], sweep: &str) -> (Table, Vec<String>) {
+    let mut t = Table::new(vec![
+        "objects", "batch", "nodes", "publish", "copied n", "bpts", "chunks", "fresh", "log",
+    ]);
+    let mut json_rows = Vec::new();
+    for r in rows {
+        t.row(vec![
+            r.objects.to_string(),
+            r.batch.to_string(),
+            r.nodes.to_string(),
+            format!("{:.0}us", r.publish_us),
+            format!("{:.1}", r.copied_nodes),
+            format!("{:.1}", r.rebuilt_bpts),
+            format!("{:.1}", r.copied_chunks),
+            fmt_bytes(r.fresh_bytes),
+            r.log_records.to_string(),
+        ]);
+        json_rows.push(
+            json::Obj::new()
+                .str("sweep", sweep)
+                .num("objects", r.objects)
+                .num("batch", r.batch)
+                .num("nodes", r.nodes)
+                .num("publish_us", r.publish_us)
+                .num("copied_nodes", r.copied_nodes)
+                .num("rebuilt_bpts", r.rebuilt_bpts)
+                .num("copied_chunks", r.copied_chunks)
+                .num("fresh_bytes", r.fresh_bytes)
+                .num("log_records", r.log_records)
+                .render(),
+        );
+    }
+    (t, json_rows)
+}
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let max_objects = opts.objects.unwrap_or(40_000);
+    let batch = opts.update_batch.max(2);
+    println!("=== ext: epoch publish cost (structurally-shared snapshots) ===");
+    println!("rounds={ROUNDS} seed={}\n", opts.seed);
+
+    // Sweep 1: fixed batch, growing dataset — publish cost must not grow
+    // with the dataset (that was the deep-clone regime).
+    let mut sizes = vec![max_objects];
+    while *sizes.last().unwrap() > 6_000 {
+        sizes.push(sizes.last().unwrap() / 2);
+    }
+    sizes.reverse();
+    println!("fixed batch = {batch} updates, growing dataset:");
+    let dataset_rows: Vec<Row> = sizes
+        .iter()
+        .map(|&n| measure(n, batch, opts.seed))
+        .collect();
+    let (t, mut json_rows) = render(&dataset_rows, "dataset");
+    t.print();
+
+    // Sweep 2: fixed dataset, growing batch — cost should scale with the
+    // batch instead.
+    println!("\nfixed dataset = {max_objects} objects, growing batch:");
+    let batch_rows: Vec<Row> = [1usize, 4, 16, 64]
+        .iter()
+        .map(|&b| measure(max_objects, b, opts.seed))
+        .collect();
+    let (t, batch_json) = render(&batch_rows, "batch");
+    t.print();
+    json_rows.extend(batch_json);
+
+    let first = &dataset_rows[0];
+    let last = dataset_rows.last().unwrap();
+    let growth = last.fresh_bytes / first.fresh_bytes.max(1.0);
+    let data_growth = last.objects as f64 / first.objects as f64;
+    println!(
+        "\n{}x dataset -> {:.2}x fresh bytes per publish (deep cloning would be ~{}x); \
+         publish latency {:.0}us -> {:.0}us",
+        data_growth, growth, data_growth, first.publish_us, last.publish_us
+    );
+
+    if let Some(path) = &opts.json {
+        let doc = json::Obj::new()
+            .str("bench", "ext_epoch")
+            .num("seed", opts.seed)
+            .num("rounds", ROUNDS)
+            .num("fixed_batch", batch)
+            .num("max_objects", max_objects)
+            .raw("rows", &json::array(&json_rows))
+            .render();
+        std::fs::write(path, doc + "\n").expect("write --json output");
+        println!("wrote {path}");
+    }
+}

@@ -31,8 +31,10 @@
 //! * `resp` — mean per-client §4.1 response time (cache effects only:
 //!   the channel model is per-client, so this stays flat as N grows);
 //! * `hit_c` / `fmr` — merged cache hit and false-miss rates;
-//! * `upd` / `stale` / `inv` — updates applied under the run, stale
-//!   retries suffered, and invalidation downlink bytes (churn only);
+//! * `upd` / `stale` / `refr` / `inv` — updates applied under the run, stale
+//!   retries suffered, full-refresh refusals recovered from (the client
+//!   fell below the server's pruned invalidation horizon), and
+//!   invalidation downlink bytes (churn only);
 //! * `batches` / `avg b` — flushes and mean requests per flush (`--batch`
 //!   only; `avg b = 1.00` means no coalescing happened).
 //!
@@ -84,7 +86,7 @@ fn main() {
 
     let mut table = Table::new(vec![
         "clients", "threads", "queries", "wall", "sim q/s", "wall q/s", "resp", "hit_c", "fmr",
-        "upd", "stale", "inv", "batches", "avg b",
+        "upd", "stale", "refr", "inv", "batches", "avg b",
     ]);
     let mut json_rows: Vec<String> = Vec::new();
     let mut last_sim_qps = 0.0;
@@ -143,6 +145,7 @@ fn main() {
             fmt_pct(s.fmr),
             out.updates_applied.to_string(),
             s.totals.stale_retries.to_string(),
+            s.totals.full_refreshes.to_string(),
             fmt_bytes(s.totals.invalidation_bytes as f64),
             batches,
             avg_b,
@@ -159,9 +162,11 @@ fn main() {
                 .num("fmr", s.fmr)
                 .num("contacts", s.totals.contacts)
                 .num("stale_retries", s.totals.stale_retries)
+                .num("full_refreshes", s.totals.full_refreshes)
                 .num("invalidation_bytes", s.totals.invalidation_bytes)
                 .num("updates_applied", out.updates_applied)
                 .num("final_epoch", out.final_epoch)
+                .num("log_records", out.log_records)
                 .num("batches", stats.map_or(0, |st| st.batches))
                 .num("mean_batch", stats.map_or(0.0, |st| st.mean_batch()))
                 .render(),

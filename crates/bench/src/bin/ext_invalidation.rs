@@ -54,7 +54,9 @@ fn main() {
             total_bytes / 100, // |C| = 1 %
             ReplacementPolicy::Grd3,
             Catalog::from_tree(server.snapshot().tree()),
-        );
+        )
+        .with_client(1)
+        .at_epoch(server.snapshot().epoch());
         let mut mobile = MobileClient::new(
             MobilityModel::Dir,
             pc_mobility::MobilityConfig::paper(),

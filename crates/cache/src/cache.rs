@@ -576,6 +576,20 @@ impl ProactiveCache {
         (count, bytes)
     }
 
+    /// Drops *everything* — the client's response to a full-refresh
+    /// refusal (§7 extension): the server pruned invalidation history below
+    /// the client's epoch, so no per-node list exists and the whole cache
+    /// is suspect. Returns `(items, bytes)` dropped.
+    pub fn clear(&mut self) -> (usize, u64) {
+        let count = self.items.len();
+        let bytes = self.used;
+        self.items.clear();
+        self.object_parents.clear();
+        self.used = 0;
+        self.last_bswap = false;
+        (count, bytes)
+    }
+
     /// Removes a single (leaf) item; unlinks it from its parent and cleans
     /// the object-parent map. Returns the bytes freed.
     fn remove_item(&mut self, key: ItemKey) -> u64 {

@@ -338,6 +338,25 @@ fn invalidate_node_drops_the_whole_subtree() {
 }
 
 #[test]
+fn clear_empties_the_cache_and_stays_usable() {
+    let mut c = big_cache(ReplacementPolicy::Grd3);
+    c.absorb(&sample_reply(), 1, Point::ORIGIN);
+    let before = c.used_bytes();
+    assert!(before > 0);
+    let (items, bytes) = c.clear();
+    assert_eq!(items, 6);
+    assert_eq!(bytes, before);
+    assert!(c.is_empty());
+    assert_eq!(c.used_bytes(), 0);
+    c.validate().unwrap();
+    // Clearing twice is a harmless no-op, and the cache absorbs again.
+    assert_eq!(c.clear(), (0, 0));
+    c.absorb(&sample_reply(), 2, Point::ORIGIN);
+    assert_eq!(c.used_bytes(), before);
+    c.validate().unwrap();
+}
+
+#[test]
 fn invalidating_the_root_empties_the_cache() {
     let mut c = big_cache(ReplacementPolicy::Grd3);
     c.absorb(&sample_reply(), 1, Point::ORIGIN);

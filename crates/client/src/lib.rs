@@ -80,6 +80,16 @@ impl Client {
         self.seq
     }
 
+    /// Full refresh (§7 extension): drops the entire cache and adopts a
+    /// freshly synced catalog — the client's response to a
+    /// `VersionedReply::FullRefresh` refusal, after which stage ① restarts
+    /// cold. The query sequence id survives (hit statistics keep their
+    /// clock). Returns `(items, bytes)` dropped.
+    pub fn full_refresh(&mut self, catalog: Catalog) -> (usize, u64) {
+        self.catalog = catalog;
+        self.cache.clear()
+    }
+
     /// Stage ①: evaluates `spec` over the cache. All items the traversal
     /// used are marked as hit by this query.
     pub fn run_local(&mut self, spec: &QuerySpec) -> LocalOutcome {

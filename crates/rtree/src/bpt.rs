@@ -13,6 +13,7 @@ use crate::tree::RTree;
 use crate::NodeId;
 use pc_geom::Rect;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A path through a binary partition tree: the paper's `(n, code)` id with
 /// `code` a bit-string ("formed by concatenating the binary digit 0/1 along
@@ -332,9 +333,14 @@ fn midpoint_split(rects: &[Rect]) -> (Vec<usize>, Vec<usize>) {
 
 /// Binary partition trees for every node of a tree, built offline ("a
 /// one-time operation", §4.2).
+///
+/// Each BPT sits behind its own `Arc`: cloning the store clones only the
+/// pointer table, and [`BptStore::rebuild_node`] swaps in a fresh BPT for
+/// exactly the nodes an update batch dirtied, leaving every other node's
+/// BPT structurally shared with the previous snapshot.
 #[derive(Clone, Debug, Default)]
 pub struct BptStore {
-    map: HashMap<NodeId, Bpt>,
+    map: HashMap<NodeId, Arc<Bpt>>,
 }
 
 impl BptStore {
@@ -347,7 +353,7 @@ impl BptStore {
         let mut map = HashMap::new();
         for id in tree.node_ids() {
             let mbrs: Vec<Rect> = tree.node(id).entries.iter().map(|e| e.mbr).collect();
-            map.insert(id, Bpt::build_with(&mbrs, policy));
+            map.insert(id, Arc::new(Bpt::build_with(&mbrs, policy)));
         }
         BptStore { map }
     }
@@ -360,7 +366,7 @@ impl BptStore {
     /// node's entry set).
     pub fn rebuild_node(&mut self, tree: &RTree, id: NodeId) {
         let mbrs: Vec<Rect> = tree.node(id).entries.iter().map(|e| e.mbr).collect();
-        self.map.insert(id, Bpt::build(&mbrs));
+        self.map.insert(id, Arc::new(Bpt::build(&mbrs)));
     }
 
     /// Total auxiliary bytes across all nodes — the §6.4 "4.2 MB for NE"
@@ -371,6 +377,16 @@ impl BptStore {
 
     pub fn node_count(&self) -> usize {
         self.map.len()
+    }
+
+    /// How many per-node BPTs `self` physically shares with `other` (same
+    /// `Arc` under the same node id) — the structural-sharing diagnostic
+    /// mirroring [`RTree::shared_node_slots`].
+    pub fn shared_bpts(&self, other: &BptStore) -> usize {
+        self.map
+            .iter()
+            .filter(|(id, bpt)| other.map.get(id).is_some_and(|o| Arc::ptr_eq(bpt, o)))
+            .count()
     }
 }
 

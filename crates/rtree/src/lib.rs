@@ -101,11 +101,32 @@ impl Node {
     }
 }
 
-/// The flat object store backing an [`RTree`]. Object ids must equal their
-/// vector index; [`ObjectStore::new`] enforces this.
+/// Objects per store segment (power of two so indexing is a shift+mask).
+const STORE_CHUNK_SHIFT: u32 = 10;
+/// Segment capacity derived from the shift.
+pub const STORE_CHUNK_LEN: usize = 1 << STORE_CHUNK_SHIFT;
+
+/// The object store backing an [`RTree`]. Object ids must equal their
+/// logical index; [`ObjectStore::new`] enforces this.
+///
+/// Storage is chunked into `Arc`-shared segments of [`STORE_CHUNK_LEN`]
+/// objects: cloning a store clones only the segment pointer table, and a
+/// mutation ([`push`](ObjectStore::push), [`set_mbr`](ObjectStore::set_mbr),
+/// [`mark_dead`](ObjectStore::mark_dead)) copies just the one segment it
+/// lands in. Snapshots in `pc_server` therefore share all untouched
+/// segments across epochs instead of deep-cloning the dataset per update
+/// batch.
+///
+/// Deleted objects keep their slot (ids stay dense — the §7 update
+/// extension tombstones them) but are flagged dead; the naive oracles and
+/// liveness-aware callers skip them via [`is_live`](ObjectStore::is_live).
 #[derive(Clone, Debug, Default)]
 pub struct ObjectStore {
-    objects: Vec<SpatialObject>,
+    chunks: Vec<std::sync::Arc<Vec<SpatialObject>>>,
+    len: usize,
+    /// Tombstone bitset, one bit per slot (dense ids; dead = 1).
+    dead: Vec<u64>,
+    dead_count: usize,
 }
 
 impl ObjectStore {
@@ -121,48 +142,126 @@ impl ObjectStore {
                 o.id
             );
         }
-        ObjectStore { objects }
+        let len = objects.len();
+        let mut chunks = Vec::with_capacity(len.div_ceil(STORE_CHUNK_LEN));
+        let mut objects = objects;
+        while !objects.is_empty() {
+            let rest = objects.split_off(objects.len().min(STORE_CHUNK_LEN));
+            chunks.push(std::sync::Arc::new(objects));
+            objects = rest;
+        }
+        ObjectStore {
+            chunks,
+            len,
+            dead: vec![0; len.div_ceil(64)],
+            dead_count: 0,
+        }
     }
 
     #[inline]
     pub fn get(&self, id: ObjectId) -> &SpatialObject {
-        &self.objects[id.0 as usize]
+        let i = id.0 as usize;
+        &self.chunks[i >> STORE_CHUNK_SHIFT][i & (STORE_CHUNK_LEN - 1)]
+    }
+
+    /// Checked lookup: `None` for ids the store never assigned. The guard
+    /// malformed update batches go through instead of panicking the writer.
+    #[inline]
+    pub fn try_get(&self, id: ObjectId) -> Option<&SpatialObject> {
+        ((id.0 as usize) < self.len).then(|| self.get(id))
     }
 
     pub fn len(&self) -> usize {
-        self.objects.len()
+        self.len
     }
 
     pub fn is_empty(&self) -> bool {
-        self.objects.is_empty()
+        self.len == 0
     }
 
     pub fn iter(&self) -> impl Iterator<Item = &SpatialObject> {
-        self.objects.iter()
+        self.chunks.iter().flat_map(|c| c.iter())
+    }
+
+    /// Objects that are still live (not tombstoned), in id order.
+    pub fn iter_live(&self) -> impl Iterator<Item = &SpatialObject> {
+        self.iter().filter(|o| self.is_live(o.id))
+    }
+
+    /// Whether `id` is assigned and not tombstoned.
+    #[inline]
+    pub fn is_live(&self, id: ObjectId) -> bool {
+        let i = id.0 as usize;
+        i < self.len && self.dead[i >> 6] & (1 << (i & 63)) == 0
+    }
+
+    /// Tombstones an object (§7 delete): the slot stays (dense ids) but
+    /// liveness-aware readers skip it. No-op for unassigned ids.
+    pub fn mark_dead(&mut self, id: ObjectId) {
+        let i = id.0 as usize;
+        if self.is_live(id) {
+            self.dead[i >> 6] |= 1 << (i & 63);
+            self.dead_count += 1;
+        }
+    }
+
+    /// Number of live (non-tombstoned) objects.
+    pub fn live_count(&self) -> usize {
+        self.len - self.dead_count
     }
 
     /// Total payload bytes across all objects (denominator of the paper's
     /// uniform-access byte hit rate formula in §4.1).
     pub fn total_bytes(&self) -> u64 {
-        self.objects.iter().map(|o| o.size_bytes as u64).sum()
+        self.iter().map(|o| o.size_bytes as u64).sum()
     }
 
     /// Appends a new object (dense ids: the next id is assigned). Used by
     /// the server-update extension.
     pub fn push(&mut self, mbr: Rect, size_bytes: u32) -> ObjectId {
-        let id = ObjectId(self.objects.len() as u32);
-        self.objects.push(SpatialObject {
-            id,
-            mbr,
-            size_bytes,
-        });
+        let id = ObjectId(self.len as u32);
+        if self.len.is_multiple_of(STORE_CHUNK_LEN) {
+            self.chunks
+                .push(std::sync::Arc::new(Vec::with_capacity(STORE_CHUNK_LEN)));
+        }
+        std::sync::Arc::make_mut(self.chunks.last_mut().expect("chunk just ensured")).push(
+            SpatialObject {
+                id,
+                mbr,
+                size_bytes,
+            },
+        );
+        self.len += 1;
+        if self.len > self.dead.len() * 64 {
+            self.dead.push(0);
+        }
         id
     }
 
     /// Relocates an object (server-update extension). The index must be
     /// updated separately (delete + insert).
     pub fn set_mbr(&mut self, id: ObjectId, mbr: Rect) {
-        self.objects[id.0 as usize].mbr = mbr;
+        let i = id.0 as usize;
+        std::sync::Arc::make_mut(&mut self.chunks[i >> STORE_CHUNK_SHIFT])
+            [i & (STORE_CHUNK_LEN - 1)]
+            .mbr = mbr;
+    }
+
+    /// How many segments `self` physically shares with `other` (same `Arc`
+    /// at the same position) — the structural-sharing diagnostic mirroring
+    /// [`RTree::shared_node_slots`].
+    pub fn shared_chunks(&self, other: &ObjectStore) -> usize {
+        self.chunks
+            .iter()
+            .zip(&other.chunks)
+            .filter(|(a, b)| std::sync::Arc::ptr_eq(a, b))
+            .count()
+    }
+
+    /// Number of storage segments (denominator for
+    /// [`shared_chunks`](ObjectStore::shared_chunks)).
+    pub fn chunk_count(&self) -> usize {
+        self.chunks.len()
     }
 }
 

@@ -1,6 +1,9 @@
 //! Brute-force query oracles: linear scans over the object store, used by
 //! every test suite as ground truth for the R-tree algorithms, the generic
 //! engine and the caching pipelines.
+//!
+//! All oracles skip tombstoned objects ([`ObjectStore::is_live`]): a
+//! deleted object is out of the index, so the ground truth excludes it too.
 
 use crate::{ObjectId, ObjectStore};
 use pc_geom::{Point, Rect};
@@ -8,7 +11,7 @@ use pc_geom::{Point, Rect};
 /// Linear-scan range query, sorted by id.
 pub fn range_naive(store: &ObjectStore, window: &Rect) -> Vec<ObjectId> {
     let mut out: Vec<ObjectId> = store
-        .iter()
+        .iter_live()
         .filter(|o| window.intersects(&o.mbr))
         .map(|o| o.id)
         .collect();
@@ -19,7 +22,7 @@ pub fn range_naive(store: &ObjectStore, window: &Rect) -> Vec<ObjectId> {
 /// Linear-scan kNN, closest first, ties broken by id.
 pub fn knn_naive(store: &ObjectStore, center: &Point, k: usize) -> Vec<(ObjectId, f64)> {
     let mut all: Vec<(ObjectId, f64)> = store
-        .iter()
+        .iter_live()
         .map(|o| (o.id, o.mbr.min_dist(center)))
         .collect();
     all.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
@@ -29,7 +32,7 @@ pub fn knn_naive(store: &ObjectStore, center: &Point, k: usize) -> Vec<(ObjectId
 
 /// Quadratic distance self-join, canonical sorted pairs.
 pub fn join_naive(store: &ObjectStore, dist: f64) -> Vec<(ObjectId, ObjectId)> {
-    let objs: Vec<_> = store.iter().collect();
+    let objs: Vec<_> = store.iter_live().collect();
     let mut out = Vec::new();
     for i in 0..objs.len() {
         for j in i + 1..objs.len() {

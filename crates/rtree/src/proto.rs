@@ -51,6 +51,10 @@ pub const FORGET_ACK_BYTES: u64 = 1;
 pub const EPOCH_BYTES: u64 = 8;
 /// One invalidated node id piggybacked on a versioned reply.
 pub const INVALIDATION_BYTES: u64 = 8;
+/// A full-refresh refusal: type tag plus the current epoch stamp. Sent when
+/// the client's epoch fell below the server's pruned invalidation horizon,
+/// so no per-node list can be enumerated honestly.
+pub const FULL_REFRESH_BYTES: u64 = 4 + EPOCH_BYTES;
 
 /// A spatial query, the three types of §6.1 ("randomly selected from range,
 /// kNN, and join").
@@ -316,11 +320,19 @@ pub enum VersionedReply {
     /// The remainder referenced changed nodes: the client must invalidate
     /// and re-run stage ① against its cleaned cache.
     Stale { invalidate: Vec<NodeId>, epoch: u64 },
+    /// The client's epoch fell below the server's pruned invalidation
+    /// horizon (the update log forgets history below the fleet's low-water
+    /// mark): no per-node invalidation list can be enumerated honestly, so
+    /// the client must drop its *entire* cache, re-sync its catalog and
+    /// resubmit. The refusal itself is a fixed-size message
+    /// ([`FULL_REFRESH_BYTES`]); the cost of re-warming the cache is paid
+    /// — and accounted — on the queries that follow.
+    FullRefresh { epoch: u64 },
 }
 
 impl VersionedReply {
     /// Downlink bytes: the inner reply (when fresh) plus the invalidation
-    /// list and the epoch stamp.
+    /// list and the epoch stamp; a full-refresh refusal is fixed-size.
     pub fn wire_bytes(&self) -> u64 {
         match self {
             VersionedReply::Fresh {
@@ -331,6 +343,7 @@ impl VersionedReply {
             VersionedReply::Stale { invalidate, .. } => {
                 invalidate.len() as u64 * INVALIDATION_BYTES + EPOCH_BYTES
             }
+            VersionedReply::FullRefresh { .. } => FULL_REFRESH_BYTES,
         }
     }
 }
@@ -637,6 +650,12 @@ mod tests {
         assert_eq!(
             Response::Versioned(stale).wire_bytes(),
             INVALIDATION_BYTES + EPOCH_BYTES
+        );
+        let refresh = VersionedReply::FullRefresh { epoch: 9 };
+        assert_eq!(
+            Response::Versioned(refresh).wire_bytes(),
+            FULL_REFRESH_BYTES,
+            "full-refresh refusals are fixed-size"
         );
         let direct = DirectReply {
             results: vec![ObjectId(1), ObjectId(2), ObjectId(3)],

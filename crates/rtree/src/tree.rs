@@ -5,6 +5,7 @@
 use crate::split::rstar_split;
 use crate::{ChildRef, Entry, Node, NodeId, SpatialObject};
 use pc_geom::Rect;
+use std::sync::Arc;
 
 /// Fan-out configuration. The defaults mirror the paper's setup: R*-tree
 /// with a 4 KB page capacity and 40-byte entries (32-byte MBR + 8-byte
@@ -60,10 +61,17 @@ pub struct TreeStats {
 }
 
 /// A two-dimensional R*-tree over [`SpatialObject`]s.
+///
+/// Node slots are `Arc`-per-node copy-on-write: cloning a tree clones only
+/// the slab of pointers (refcount bumps), and a mutation after a clone
+/// copies just the nodes it actually touches ([`Arc::make_mut`]), leaving
+/// everything else structurally shared between the two trees. This is what
+/// makes an epoch publish in `pc_server` cost O(batch · depth) node copies
+/// instead of a deep clone of the whole index.
 #[derive(Clone, Debug)]
 pub struct RTree {
     cfg: RTreeConfig,
-    nodes: Vec<Node>,
+    nodes: Vec<Arc<Node>>,
     root: NodeId,
     /// Number of levels; the root sits at `height - 1`, leaves at 0.
     height: u16,
@@ -79,11 +87,11 @@ impl RTree {
     pub fn new(cfg: RTreeConfig) -> Self {
         RTree {
             cfg,
-            nodes: vec![Node {
+            nodes: vec![Arc::new(Node {
                 parent: None,
                 level: 0,
                 entries: Vec::new(),
-            }],
+            })],
             root: NodeId(0),
             height: 1,
             object_count: 0,
@@ -151,14 +159,14 @@ impl RTree {
             slab.sort_by(|a, b| a.0.center().y.partial_cmp(&b.0.center().y).unwrap());
             for tile in slab.chunks(cap) {
                 let id = NodeId(self.nodes.len() as u32);
-                self.nodes.push(Node {
+                self.nodes.push(Arc::new(Node {
                     parent: None,
                     level,
                     entries: tile
                         .iter()
                         .map(|&(mbr, child)| Entry { mbr, child })
                         .collect(),
-                });
+                }));
                 out.push(id);
             }
         }
@@ -177,10 +185,11 @@ impl RTree {
                 })
                 .collect();
             for c in children {
-                self.nodes[c.0 as usize].parent = Some(id);
+                self.node_mut(c).parent = Some(id);
             }
         }
-        self.nodes[self.root.0 as usize].parent = None;
+        let root = self.root;
+        self.node_mut(root).parent = None;
     }
 
     // ------------------------------------------------------------------
@@ -190,6 +199,32 @@ impl RTree {
     #[inline]
     pub fn node(&self, id: NodeId) -> &Node {
         &self.nodes[id.0 as usize]
+    }
+
+    /// Mutable access to one node slot, copying it first when the slot is
+    /// shared with a cloned tree (the copy-on-write seam: everything that
+    /// edits a node funnels through here).
+    #[inline]
+    fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        Arc::make_mut(&mut self.nodes[id.0 as usize])
+    }
+
+    /// Number of slab slots (reachable nodes plus detached husks) — the
+    /// denominator for [`RTree::shared_node_slots`].
+    pub fn slab_len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// How many node slots `self` physically shares with `other` (same
+    /// `Arc` allocation at the same slot). A diagnostic for the
+    /// structural-sharing guarantees: after cloning a tree and applying a
+    /// small update batch, all but the touched spines stay shared.
+    pub fn shared_node_slots(&self, other: &RTree) -> usize {
+        self.nodes
+            .iter()
+            .zip(&other.nodes)
+            .filter(|(a, b)| Arc::ptr_eq(a, b))
+            .count()
     }
 
     #[inline]
@@ -283,9 +318,9 @@ impl RTree {
     fn insert_at_level(&mut self, entry: Entry, level: u16, reinserted: &mut Vec<bool>) {
         let target = self.choose_subtree(&entry.mbr, level);
         if let ChildRef::Node(c) = entry.child {
-            self.nodes[c.0 as usize].parent = Some(target);
+            self.node_mut(c).parent = Some(target);
         }
-        self.nodes[target.0 as usize].entries.push(entry);
+        self.node_mut(target).entries.push(entry);
         self.mark_dirty(target);
         self.adjust_upward(target);
         self.handle_overflow(target, reinserted);
@@ -399,7 +434,7 @@ impl RTree {
             .mbr()
             .expect("overflowing node non-empty")
             .center();
-        let node = &mut self.nodes[id.0 as usize];
+        let node = Arc::make_mut(&mut self.nodes[id.0 as usize]);
         node.entries.sort_by(|a, b| {
             // Descending distance: farthest first at the front.
             b.mbr
@@ -425,20 +460,20 @@ impl RTree {
     /// or `None` when a new root was created.
     fn split_node(&mut self, id: NodeId) -> Option<NodeId> {
         let level = self.node(id).level;
-        let entries = std::mem::take(&mut self.nodes[id.0 as usize].entries);
+        let entries = std::mem::take(&mut self.node_mut(id).entries);
         let rects: Vec<Rect> = entries.iter().map(|e| e.mbr).collect();
         let (left_idx, right_idx) = rstar_split(&rects, self.cfg.min_entries);
 
         let left_entries: Vec<Entry> = left_idx.iter().map(|&i| entries[i]).collect();
         let right_entries: Vec<Entry> = right_idx.iter().map(|&i| entries[i]).collect();
 
-        self.nodes[id.0 as usize].entries = left_entries;
+        self.node_mut(id).entries = left_entries;
         let sibling = NodeId(self.nodes.len() as u32);
-        self.nodes.push(Node {
+        self.nodes.push(Arc::new(Node {
             parent: self.node(id).parent,
             level,
             entries: right_entries,
-        });
+        }));
         // Children moved to the sibling need their parent pointer fixed.
         let moved: Vec<NodeId> = self.nodes[sibling.0 as usize]
             .entries
@@ -449,7 +484,7 @@ impl RTree {
             })
             .collect();
         for c in moved {
-            self.nodes[c.0 as usize].parent = Some(sibling);
+            self.node_mut(c).parent = Some(sibling);
         }
 
         self.mark_dirty(id);
@@ -458,7 +493,7 @@ impl RTree {
         match self.node(id).parent {
             Some(p) => {
                 self.refresh_parent_entry(id);
-                self.nodes[p.0 as usize].entries.push(Entry {
+                self.node_mut(p).entries.push(Entry {
                     mbr: sibling_mbr,
                     child: ChildRef::Node(sibling),
                 });
@@ -470,7 +505,7 @@ impl RTree {
                 // Root split: grow the tree by one level.
                 let old_root_mbr = self.node(id).mbr().expect("split side non-empty");
                 let new_root = NodeId(self.nodes.len() as u32);
-                self.nodes.push(Node {
+                self.nodes.push(Arc::new(Node {
                     parent: None,
                     level: level + 1,
                     entries: vec![
@@ -483,9 +518,9 @@ impl RTree {
                             child: ChildRef::Node(sibling),
                         },
                     ],
-                });
-                self.nodes[id.0 as usize].parent = Some(new_root);
-                self.nodes[sibling.0 as usize].parent = Some(new_root);
+                }));
+                self.node_mut(id).parent = Some(new_root);
+                self.node_mut(sibling).parent = Some(new_root);
                 self.root = new_root;
                 self.height += 1;
                 self.mark_dirty(new_root);
@@ -505,7 +540,7 @@ impl RTree {
         let Some(leaf) = self.find_leaf(self.root, id, mbr) else {
             return false;
         };
-        self.nodes[leaf.0 as usize]
+        self.node_mut(leaf)
             .entries
             .retain(|e| e.child != ChildRef::Object(id));
         self.mark_dirty(leaf);
@@ -545,12 +580,12 @@ impl RTree {
                 // Detach `id`: its parent loses the entry, its own entries
                 // queue for re-insertion at their original level.
                 let level = self.node(id).level;
-                let entries = std::mem::take(&mut self.nodes[id.0 as usize].entries);
+                let entries = std::mem::take(&mut self.node_mut(id).entries);
                 orphans.extend(entries.into_iter().map(|e| (e, level)));
-                self.nodes[parent.0 as usize]
+                self.node_mut(parent)
                     .entries
                     .retain(|e| e.child != ChildRef::Node(id));
-                self.nodes[id.0 as usize].parent = None;
+                self.node_mut(id).parent = None;
                 self.mark_dirty(id);
                 self.mark_dirty(parent);
             } else {
@@ -571,28 +606,36 @@ impl RTree {
             let ChildRef::Node(child) = self.node(self.root).entries[0].child else {
                 unreachable!("non-leaf root holds node entries")
             };
-            self.nodes[child.0 as usize].parent = None;
+            self.node_mut(child).parent = None;
             self.root = child;
             self.height -= 1;
-            self.nodes[old_root.0 as usize].entries.clear();
+            self.node_mut(old_root).entries.clear();
             self.mark_dirty(old_root);
         }
     }
 
-    /// Recomputes the MBR stored for `id` in its parent entry.
+    /// Recomputes the MBR stored for `id` in its parent entry. Read-checks
+    /// before taking the copy-on-write mutable path: an unchanged MBR must
+    /// not copy a shared parent node (`adjust_upward` walks whole spines).
     fn refresh_parent_entry(&mut self, id: NodeId) {
         if let Some(p) = self.node(id).parent {
             let mbr = self.node(id).mbr().expect("child non-empty");
-            let parent = &mut self.nodes[p.0 as usize];
+            let stale = self
+                .node(p)
+                .entries
+                .iter()
+                .any(|e| e.child == ChildRef::Node(id) && e.mbr != mbr);
+            if !stale {
+                return;
+            }
+            let parent = Arc::make_mut(&mut self.nodes[p.0 as usize]);
             for e in &mut parent.entries {
                 if e.child == ChildRef::Node(id) {
-                    if e.mbr != mbr {
-                        e.mbr = mbr;
-                        self.dirty.push(p);
-                    }
+                    e.mbr = mbr;
                     break;
                 }
             }
+            self.dirty.push(p);
         }
     }
 
@@ -877,6 +920,44 @@ mod tests {
         tree.validate(live.len(), false).unwrap();
         let found = crate::query::range_query(&tree, &Rect::UNIT);
         assert_eq!(found.len(), live.len());
+    }
+
+    #[test]
+    fn cloned_tree_shares_untouched_nodes() {
+        // The copy-on-write contract: after a clone, a single insert must
+        // copy only the touched spine (target leaf + refreshed ancestors +
+        // any split fallout), leaving the bulk of the slab shared.
+        let objs = random_objects(600, 31);
+        let base = RTree::bulk_load(RTreeConfig::small(), &objs);
+        let mut next = base.clone();
+        assert_eq!(
+            base.shared_node_slots(&next),
+            base.slab_len(),
+            "a fresh clone shares every slot"
+        );
+        next.insert(&SpatialObject {
+            id: ObjectId(9000),
+            mbr: Rect::from_point(Point::new(0.31, 0.62)),
+            size_bytes: 10,
+        });
+        let shared = base.shared_node_slots(&next);
+        let copied = base.slab_len() - shared;
+        assert!(copied >= 1, "the insert must have copied its leaf");
+        assert!(
+            copied <= 4 * next.height() as usize + 8,
+            "one insert copied {copied} of {} nodes — CoW is not sharing",
+            base.slab_len()
+        );
+        // Both trees stay independently valid.
+        base.validate(600, false).unwrap();
+        next.validate(601, false).unwrap();
+        // A delete after the clone behaves the same way.
+        let mut pruned = base.clone();
+        assert!(pruned.delete(objs[0].id, &objs[0].mbr));
+        let shared = base.shared_node_slots(&pruned);
+        assert!(base.slab_len() - shared <= 4 * base.height() as usize + 8);
+        base.validate(600, false).unwrap();
+        pruned.validate(599, false).unwrap();
     }
 
     #[test]

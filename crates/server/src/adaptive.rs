@@ -36,6 +36,12 @@ fn shard_index(client: u32) -> usize {
 pub struct AdaptiveState {
     pub d: u8,
     pub last_fmr: Option<f64>,
+    /// The epoch this client last synced to over the §7 versioned
+    /// protocol (`None` for clients that only spoke the plain protocol).
+    /// The minimum over all tracked clients is the fleet's **low-water
+    /// mark**: update-log history at or below it serves nobody and can be
+    /// pruned at the next epoch publish.
+    pub last_epoch: Option<u64>,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -133,6 +139,7 @@ impl AdaptiveController {
             .unwrap_or(AdaptiveState {
                 d: self.initial_d,
                 last_fmr: None,
+                last_epoch: None,
             })
     }
 
@@ -156,17 +163,10 @@ impl AdaptiveController {
             .is_some()
     }
 
-    /// Processes one periodic fmr report; returns the (possibly updated) d.
-    ///
-    /// §4.3: "If the value is higher than the last recorded fmr by s
-    /// percent, … the value of d for this client is increased by 1. On the
-    /// contrary, if it is lower than last fmr by s percent, d is decreased
-    /// by 1. Otherwise, d remains its last value."
-    pub fn report(&self, client: u32, fmr: f64) -> u8 {
+    /// Evicts the stalest entry of `shard` when inserting `client` would
+    /// exceed the per-shard capacity (shared by every tracked-state write).
+    fn make_room(&self, shard: &mut Shard, client: u32) {
         let cap = self.per_shard_cap();
-        let mut shard = self.shard(client).lock().unwrap();
-        shard.clock += 1;
-        let clock = shard.clock;
         if !shard.states.contains_key(&client) && shard.states.len() >= cap {
             // Evict the stalest reporter to stay within capacity.
             if let Some(&stale) = shard
@@ -178,10 +178,67 @@ impl AdaptiveController {
                 shard.states.remove(&stale);
             }
         }
+    }
+
+    /// Records the epoch `client` will be synced to once the versioned
+    /// contact currently being answered completes (every versioned reply —
+    /// fresh, stale or full-refresh — carries the answering snapshot's
+    /// epoch, and the client adopts it). Feeds
+    /// [`epoch_low_water`](Self::epoch_low_water).
+    pub fn note_epoch(&self, client: u32, epoch: u64) {
+        let mut shard = self.shard(client).lock().unwrap();
+        shard.clock += 1;
+        let clock = shard.clock;
+        self.make_room(&mut shard, client);
         let entry = shard.states.entry(client).or_insert(Entry {
             state: AdaptiveState {
                 d: self.initial_d,
                 last_fmr: None,
+                last_epoch: None,
+            },
+            last_report: clock,
+        });
+        // Per-client contacts are serial, but batched transports may note
+        // out of order — keep the max so the mark never runs backwards.
+        entry.state.last_epoch = Some(entry.state.last_epoch.unwrap_or(0).max(epoch));
+        entry.last_report = clock;
+    }
+
+    /// The fleet **low-water mark**: the minimum last-synced epoch over
+    /// every tracked versioned client, i.e. the oldest epoch any live
+    /// client could still stamp its next contact with. `None` when no
+    /// tracked client has spoken the versioned protocol — then there is
+    /// nobody to bound pruning for (the history cap alone applies).
+    pub fn epoch_low_water(&self) -> Option<u64> {
+        self.shards
+            .iter()
+            .flat_map(|s| {
+                s.lock()
+                    .unwrap()
+                    .states
+                    .values()
+                    .filter_map(|e| e.state.last_epoch)
+                    .min()
+            })
+            .min()
+    }
+
+    /// Processes one periodic fmr report; returns the (possibly updated) d.
+    ///
+    /// §4.3: "If the value is higher than the last recorded fmr by s
+    /// percent, … the value of d for this client is increased by 1. On the
+    /// contrary, if it is lower than last fmr by s percent, d is decreased
+    /// by 1. Otherwise, d remains its last value."
+    pub fn report(&self, client: u32, fmr: f64) -> u8 {
+        let mut shard = self.shard(client).lock().unwrap();
+        shard.clock += 1;
+        let clock = shard.clock;
+        self.make_room(&mut shard, client);
+        let entry = shard.states.entry(client).or_insert(Entry {
+            state: AdaptiveState {
+                d: self.initial_d,
+                last_fmr: None,
+                last_epoch: None,
             },
             last_report: clock,
         });
@@ -277,6 +334,54 @@ mod tests {
         assert_eq!(c.state(7).last_fmr, None);
         assert!(!c.forget_client(7), "second forget is a no-op");
         assert_eq!(c.tracked_clients(), 0);
+    }
+
+    #[test]
+    fn epoch_low_water_is_the_fleet_minimum() {
+        let c = controller();
+        assert_eq!(c.epoch_low_water(), None, "no versioned clients yet");
+        c.report(1, 0.1);
+        assert_eq!(
+            c.epoch_low_water(),
+            None,
+            "plain-protocol clients never pin the mark"
+        );
+        c.note_epoch(2, 7);
+        c.note_epoch(3, 4);
+        c.note_epoch(4, 9);
+        assert_eq!(c.epoch_low_water(), Some(4));
+        // The straggler catches up: the mark rises.
+        c.note_epoch(3, 8);
+        assert_eq!(c.epoch_low_water(), Some(7));
+        // The mark never runs backwards for one client.
+        c.note_epoch(3, 2);
+        assert_eq!(c.state(3).last_epoch, Some(8));
+        // A disconnect releases its pin.
+        assert!(c.forget_client(2));
+        assert_eq!(c.epoch_low_water(), Some(8));
+    }
+
+    #[test]
+    fn note_epoch_respects_capacity_and_eviction() {
+        let cap = SHARDS;
+        let c = controller().with_max_clients(cap);
+        for client in 0..1000u32 {
+            c.note_epoch(client, client as u64);
+            assert!(c.tracked_clients() <= cap);
+        }
+        // Evicted stragglers no longer hold the low-water mark down.
+        assert!(c.epoch_low_water().unwrap() > 0);
+    }
+
+    #[test]
+    fn note_epoch_keeps_adaptive_d() {
+        let c = controller();
+        c.report(5, 0.1);
+        c.report(5, 0.2); // d -> 3
+        c.note_epoch(5, 11);
+        assert_eq!(c.d(5), 3, "epoch notes must not reset the d trajectory");
+        assert_eq!(c.state(5).last_epoch, Some(11));
+        assert_eq!(c.state(5).last_fmr, Some(0.2));
     }
 
     #[test]

@@ -182,15 +182,46 @@ impl ServerCore {
     }
 
     /// Applies one batch of updates atomically *while queries keep
-    /// running*: clones the current snapshot, mutates the clone (store and
-    /// R*-tree edits, BPT rebuilds of changed nodes, epoch bump,
-    /// changed-node recording) and publishes it with a single pointer
-    /// swap. Readers pinned to the old epoch are untouched; the next pin
-    /// sees the new epoch. Returns the new epoch. Concurrent callers
-    /// serialize on the writer lock.
+    /// running*: clones the current snapshot **structurally** (the tree's
+    /// node slab, the per-node BPTs and the store's segments are all
+    /// `Arc`-shared, so the clone copies pointer tables, not data), mutates
+    /// the clone — copy-on-write touches only the root-to-leaf spines and
+    /// store segments the batch lands in, and only dirty nodes' BPTs are
+    /// rebuilt — and publishes it with a single pointer swap. Readers
+    /// pinned to the old epoch are untouched; the next pin sees the new
+    /// epoch. Returns the new epoch. Concurrent callers serialize on the
+    /// writer lock.
+    ///
+    /// Updates naming ids the store never assigned are **ignored** (a
+    /// malformed batch must not panic the writer mid-epoch), as are
+    /// deletes/moves of already-tombstoned objects.
+    ///
+    /// This entry point never prunes update history; [`crate::Server`]'s
+    /// wrapper passes the fleet low-water mark and history cap through
+    /// [`apply_updates_bounded`](Self::apply_updates_bounded).
     pub fn apply_updates(&self, updates: &[Update]) -> u64 {
+        self.apply_updates_bounded(updates, None, u64::MAX)
+    }
+
+    /// [`apply_updates`](Self::apply_updates) with history bounding: after
+    /// publishing epoch `N`, update-log records at or below
+    /// `max(client_floor, N - max_history)` are pruned and the log's
+    /// low-water mark rises accordingly — a client stamped below it gets a
+    /// [`VersionedReply::FullRefresh`](pc_rtree::proto::VersionedReply)
+    /// refusal instead of a truncated invalidation list.
+    ///
+    /// `client_floor` is the fleet's minimum last-synced epoch (see
+    /// `AdaptiveController::epoch_low_water`); `None` means no versioned
+    /// client is tracked and only the hard cap applies.
+    pub fn apply_updates_bounded(
+        &self,
+        updates: &[Update],
+        client_floor: Option<u64>,
+        max_history: u64,
+    ) -> u64 {
         let _writer = self.write.lock().unwrap();
         let mut next = Snapshot::clone(&self.pin());
+        let mut deleted: Vec<pc_rtree::ObjectId> = Vec::new();
         for u in updates {
             match *u {
                 Update::Insert { mbr, size_bytes } => {
@@ -199,13 +230,18 @@ impl ServerCore {
                     next.tree_mut().insert(&obj);
                 }
                 Update::Delete(id) => {
-                    let mbr = next.store().get(id).mbr;
+                    let Some(mbr) = next.store().try_get(id).map(|o| o.mbr) else {
+                        continue; // unknown id: malformed batch entry, skip
+                    };
                     if next.tree_mut().delete(id, &mbr) {
-                        next.update_log_mut().record_delete(id);
+                        next.store_mut().mark_dead(id);
+                        deleted.push(id);
                     }
                 }
                 Update::Move { id, to } => {
-                    let from = next.store().get(id).mbr;
+                    let Some(from) = next.store().try_get(id).map(|o| o.mbr) else {
+                        continue; // unknown id: malformed batch entry, skip
+                    };
                     if next.tree_mut().delete(id, &from) {
                         next.store_mut().set_mbr(id, to);
                         let obj = *next.store().get(id);
@@ -216,10 +252,17 @@ impl ServerCore {
         }
         let dirty = next.tree_mut().take_dirty();
         let epoch = next.update_log_mut().bump_epoch();
+        for id in deleted {
+            next.update_log_mut().record_delete(id, epoch);
+        }
         for n in dirty {
             next.rebuild_bpt(n);
             next.update_log_mut().record_change(n, epoch);
         }
+        let horizon = client_floor
+            .unwrap_or(0)
+            .max(epoch.saturating_sub(max_history));
+        next.update_log_mut().prune(horizon);
         self.snap.publish(next);
         epoch
     }
@@ -231,6 +274,7 @@ mod tests {
     use pc_geom::{Point, Rect};
     use pc_rtree::naive;
     use pc_rtree::{ObjectId, SpatialObject};
+    use proptest::prelude::*;
     use rand::rngs::SmallRng;
     use rand::{Rng, SeedableRng};
     use std::sync::Arc;
@@ -282,6 +326,189 @@ mod tests {
         for h in handles {
             let (w, got) = h.join().unwrap();
             assert_eq!(got, naive::range_naive(snap.store(), &w));
+        }
+    }
+
+    #[test]
+    fn publish_shares_structure_with_the_previous_snapshot() {
+        // The epoch-cost tentpole: a small batch against a large snapshot
+        // copies only the spines/segments/BPTs it touches. Everything else
+        // is the *same allocation* as the previous epoch.
+        let core = sample_core(2000, 17);
+        let old = core.pin();
+        core.apply_updates(&[
+            Update::Insert {
+                mbr: Rect::from_point(Point::new(0.41, 0.43)),
+                size_bytes: 100,
+            },
+            Update::Delete(ObjectId(7)),
+        ]);
+        let new = core.pin();
+
+        let slab = old.tree().slab_len();
+        let shared_nodes = old.tree().shared_node_slots(new.tree());
+        assert!(
+            slab - shared_nodes <= 6 * new.tree().height() as usize + 12,
+            "2-update batch copied {} of {slab} nodes",
+            slab - shared_nodes
+        );
+        let bpts = old.bpts().node_count();
+        let shared_bpts = old.bpts().shared_bpts(new.bpts());
+        assert!(
+            bpts - shared_bpts <= 6 * new.tree().height() as usize + 12,
+            "2-update batch rebuilt {} of {bpts} BPTs",
+            bpts - shared_bpts
+        );
+        let chunks = old.store().chunk_count();
+        let shared_chunks = old.store().shared_chunks(new.store());
+        assert!(
+            chunks - shared_chunks <= 2,
+            "2-update batch copied {} of {chunks} store segments",
+            chunks - shared_chunks
+        );
+        // And both worlds still answer correctly.
+        old.tree().validate(2000, false).unwrap();
+        new.tree().validate(2000, false).unwrap(); // +1 insert, -1 delete
+    }
+
+    #[test]
+    fn malformed_batches_never_panic_the_writer() {
+        // Deletes/moves naming ids the store never assigned are skipped; a
+        // delete of an already-tombstoned object is a no-op too. The epoch
+        // still bumps (the batch was applied, however vacuous).
+        let core = sample_core(100, 9);
+        let epoch = core.apply_updates(&[
+            Update::Delete(ObjectId(100_000)),
+            Update::Move {
+                id: ObjectId(99_999),
+                to: Rect::from_point(Point::new(0.5, 0.5)),
+            },
+            Update::Delete(ObjectId(3)),
+            Update::Delete(ObjectId(3)), // double delete: second is a no-op
+        ]);
+        assert_eq!(epoch, 1);
+        let snap = core.pin();
+        assert_eq!(snap.store().len(), 100, "unknown ids created nothing");
+        assert_eq!(snap.store().live_count(), 99, "exactly one real delete");
+        assert!(!snap.store().is_live(ObjectId(3)));
+        assert_eq!(
+            snap.update_log()
+                .deleted_objects()
+                .iter()
+                .filter(|&&(id, _)| id == ObjectId(3))
+                .count(),
+            1,
+            "the double delete must not duplicate the tombstone"
+        );
+        snap.tree().validate(99, false).unwrap();
+    }
+
+    /// Live objects of a snapshot (tombstones excluded), in id order.
+    fn live_objects(snap: &Snapshot) -> Vec<SpatialObject> {
+        snap.store().iter_live().copied().collect()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// CoW equivalence: after an arbitrary update sequence, the
+        /// structurally-shared snapshot answers bit-identically to a world
+        /// rebuilt from scratch over the same final live set — the tree
+        /// validates, direct answers match a fresh bulk-loaded tree and
+        /// the naive oracle, a cold remainder resume through the
+        /// incrementally-maintained BPTs equals the direct answer, and the
+        /// BPT store byte-matches a full from-scratch BPT build over the
+        /// same tree.
+        #[test]
+        fn cow_snapshot_equals_from_scratch_build(
+            seed in 0u64..500,
+            batches in 1usize..6,
+            per_batch in 1usize..8,
+        ) {
+            let core = sample_core(300, seed);
+            let mut rng = SmallRng::seed_from_u64(seed ^ 0xC0C0A);
+            for _ in 0..batches {
+                let n = core.pin().store().len() as u32;
+                let batch: Vec<Update> = (0..per_batch)
+                    .map(|_| match rng.random_range(0..3u32) {
+                        0 => Update::Insert {
+                            mbr: Rect::from_point(Point::new(
+                                rng.random_range(0.0..1.0),
+                                rng.random_range(0.0..1.0),
+                            )),
+                            size_bytes: 500,
+                        },
+                        1 => Update::Delete(ObjectId(rng.random_range(0..n + 5))),
+                        _ => Update::Move {
+                            id: ObjectId(rng.random_range(0..n + 5)),
+                            to: Rect::from_point(Point::new(
+                                rng.random_range(0.0..1.0),
+                                rng.random_range(0.0..1.0),
+                            )),
+                        },
+                    })
+                    .collect();
+                core.apply_updates(&batch);
+            }
+            let snap = core.pin();
+            let live = live_objects(&snap);
+
+            // (1) The shared tree is structurally valid for the live set.
+            snap.tree().validate(live.len(), false).unwrap();
+
+            // (2) Direct answers equal a from-scratch bulk load over the
+            // same final live set, and the naive oracle.
+            let fresh = pc_rtree::RTree::bulk_load(RTreeConfig::small(), &live);
+            for (cx, cy, half) in [(0.3, 0.4, 0.25), (0.6, 0.55, 0.2), (0.5, 0.5, 0.6)] {
+                let w = Rect::centered_square(Point::new(cx, cy), half);
+                let mut got: Vec<ObjectId> = snap
+                    .direct(&QuerySpec::Range { window: w })
+                    .results
+                    .iter()
+                    .map(|&(id, _)| id)
+                    .collect();
+                got.sort_unstable();
+                let mut scratch = pc_rtree::query::range_query(&fresh, &w);
+                scratch.sort_unstable();
+                prop_assert_eq!(&got, &scratch);
+                prop_assert_eq!(&got, &naive::range_naive(snap.store(), &w));
+            }
+
+            // (3) A cold remainder resume through the incrementally
+            // rebuilt BPTs equals the direct answer.
+            let root = snap.tree().root();
+            if let Some(mbr) = snap.tree().root_mbr() {
+                let w = Rect::centered_square(Point::new(0.5, 0.5), 0.35);
+                let rq = pc_rtree::proto::RemainderQuery {
+                    spec: QuerySpec::Range { window: w },
+                    already_found: 0,
+                    heap: vec![(
+                        0.0,
+                        pc_rtree::proto::HeapEntry::Single(pc_rtree::proto::Side::Cell {
+                            cell: pc_rtree::proto::CellRef::node_root(root),
+                            mbr,
+                        }),
+                    )],
+                };
+                let resumed = snap.resume_remainder(&rq, crate::FormMode::COMPACT);
+                let mut via_bpt: Vec<ObjectId> =
+                    resumed.objects.iter().map(|o| o.id).collect();
+                via_bpt.extend(resumed.confirmed.iter().copied());
+                via_bpt.sort_unstable();
+                let mut via_tree: Vec<ObjectId> = snap
+                    .direct(&QuerySpec::Range { window: w })
+                    .results
+                    .iter()
+                    .map(|&(id, _)| id)
+                    .collect();
+                via_tree.sort_unstable();
+                prop_assert_eq!(via_bpt, via_tree);
+            }
+
+            // (4) The dirty-node-only BPT maintenance byte-matches a full
+            // from-scratch BPT build over the *same* tree.
+            let rebuilt = pc_rtree::bpt::BptStore::build(snap.tree());
+            prop_assert_eq!(rebuilt.total_aux_bytes(), snap.bpt_bytes());
         }
     }
 

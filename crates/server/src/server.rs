@@ -52,6 +52,14 @@ pub struct ServerConfig {
     /// per controller shard, so the real bound is within ±16 of this value
     /// (and never below 16, one state per shard).
     pub max_tracked_clients: usize,
+    /// Hard cap on retained update-log history, in epochs. Regardless of
+    /// client tracking, `apply_updates` prunes change records older than
+    /// this many epochs, so the invalidation log stays bounded even with
+    /// no connected clients; a client stamped below the pruned horizon is
+    /// refused with a full refresh. The fleet low-water mark (minimum
+    /// last-synced epoch over live clients) prunes *earlier* whenever the
+    /// whole fleet is caught up.
+    pub max_update_history: u64,
 }
 
 impl Default for ServerConfig {
@@ -62,6 +70,7 @@ impl Default for ServerConfig {
             initial_d: 1,
             max_d: 16,
             max_tracked_clients: 1 << 16,
+            max_update_history: 1024,
         }
     }
 }
@@ -131,6 +140,33 @@ impl Server {
     /// supporting index `Ir` in this server's form for this client.
     pub fn process_remainder(&self, client: ClientId, rq: &RemainderQuery) -> ServerReply {
         self.core.resume_remainder(rq, self.remainder_mode(client))
+    }
+
+    /// The per-client adaptive controller (d⁺ trajectories + last-synced
+    /// epochs feeding the fleet low-water mark).
+    pub(crate) fn adaptive(&self) -> &AdaptiveController {
+        &self.adaptive
+    }
+
+    /// Records the epoch `client` will be synced to after the versioned
+    /// contact currently being answered. Transports that bypass
+    /// [`Server::process_remainder_versioned`] (the batched service pins
+    /// its own snapshot) call this at enqueue time so the fleet low-water
+    /// mark stays honest.
+    pub fn note_client_epoch(&self, client: ClientId, epoch: u64) {
+        self.adaptive.note_epoch(client, epoch);
+    }
+
+    /// The epoch `client` last synced to over the versioned protocol, if
+    /// it is tracked (`None` for unknown or plain-protocol clients).
+    pub fn client_last_epoch(&self, client: ClientId) -> Option<u64> {
+        self.adaptive.state(client).last_epoch
+    }
+
+    /// The fleet low-water mark: the minimum last-synced epoch over all
+    /// tracked versioned clients (`None` with no versioned clients).
+    pub fn epoch_low_water(&self) -> Option<u64> {
+        self.adaptive.epoch_low_water()
     }
 
     /// Receives a client's periodic fmr report (§4.3); returns the new d.

@@ -110,7 +110,15 @@ impl Pending {
         match self.epoch {
             None => Response::Remainder(self.snap.resume_remainder(&self.rq, self.mode)),
             Some(client_epoch) => {
-                let invalidate = self.snap.update_log().changed_since(client_epoch);
+                let log = self.snap.update_log();
+                if !log.can_answer(client_epoch) {
+                    // History below the pruned horizon: full refresh, never
+                    // a silently truncated invalidation list.
+                    return Response::Versioned(VersionedReply::FullRefresh {
+                        epoch: self.snap.epoch(),
+                    });
+                }
+                let invalidate = log.changed_since(client_epoch);
                 Response::Versioned(if invalidate.is_empty() {
                     VersionedReply::Fresh {
                         reply: self.snap.resume_remainder(&self.rq, self.mode),
@@ -210,11 +218,19 @@ impl<'a> BatchedService<'a> {
         epoch: Option<u64>,
     ) -> Response {
         let shard = self.shard(client);
+        let snap = self.server.core().pin();
+        if epoch.is_some() {
+            // Versioned contact: record the epoch this client will sync to
+            // (the reply carries the pinned snapshot's epoch), keeping the
+            // fleet low-water mark — and thus log pruning — honest even
+            // though the flusher never touches the adaptive table.
+            self.server.note_client_epoch(client, snap.epoch());
+        }
         let pending = Pending {
             rq,
             epoch,
             mode: self.server.remainder_mode(client),
-            snap: self.server.core().pin(),
+            snap,
             slot: Arc::new(Mutex::new(None)),
         };
         let mut q = shard.queue.lock().unwrap();
@@ -291,6 +307,10 @@ impl Transport for BatchedService<'_> {
 impl ServerHandle for BatchedService<'_> {
     fn core(&self) -> &ServerCore {
         self.server.core()
+    }
+
+    fn apply_updates(&self, updates: &[crate::updates::Update]) -> u64 {
+        self.server.apply_updates(updates)
     }
 }
 

@@ -14,6 +14,7 @@
 //! distinction the byte ledger draws.
 
 use crate::server::{ClientId, Server};
+use crate::updates::Update;
 use crate::ServerCore;
 use pc_rtree::proto::{DirectReply, Request, Response};
 
@@ -31,6 +32,15 @@ pub trait Transport: Send + Sync {
 pub trait ServerHandle: Transport {
     /// The shared dataset + index core (metadata reads, not traffic).
     fn core(&self) -> &ServerCore;
+
+    /// Applies one update batch through this handle (the churn driver's
+    /// entry point). Server-backed handles override this to route through
+    /// `Server::apply_updates`, which prunes update-log history below the
+    /// fleet low-water mark; the default hits the core directly and keeps
+    /// full history.
+    fn apply_updates(&self, updates: &[Update]) -> u64 {
+        self.core().apply_updates(updates)
+    }
 }
 
 /// Dispatches one envelope against a concrete [`Server`] — the single
@@ -69,6 +79,10 @@ impl ServerHandle for Server {
     fn core(&self) -> &ServerCore {
         Server::core(self)
     }
+
+    fn apply_updates(&self, updates: &[Update]) -> u64 {
+        Server::apply_updates(self, updates)
+    }
 }
 
 /// An explicit in-process transport over a borrowed [`Server`] — the
@@ -99,6 +113,10 @@ impl Transport for InProcess<'_> {
 impl ServerHandle for InProcess<'_> {
     fn core(&self) -> &ServerCore {
         self.server.core()
+    }
+
+    fn apply_updates(&self, updates: &[Update]) -> u64 {
+        Server::apply_updates(self.server, updates)
     }
 }
 

@@ -47,14 +47,24 @@ pub enum Update {
 }
 
 /// Update/invalidation state carried by each published snapshot.
+///
+/// History is **bounded**: each epoch publish prunes change records at or
+/// below a horizon (the fleet's low-water mark and/or a hard history
+/// cap), raising [`low_water`](UpdateLog::low_water). `changed_since` is
+/// complete only for `since >= low_water`; a contact stamped below it must
+/// be refused with [`VersionedReply::FullRefresh`] instead of a silently
+/// truncated invalidation list.
 #[derive(Clone, Debug, Default)]
 pub struct UpdateLog {
     epoch: u64,
+    /// Oldest client epoch `changed_since` can still answer completely.
+    /// Everything recorded at or below it has been pruned.
+    low_water: u64,
     /// Node → epoch of its most recent change.
     node_changes: HashMap<NodeId, u64>,
-    /// Tombstoned objects (the store keeps dense ids; the index no longer
-    /// reaches them).
-    deleted: Vec<ObjectId>,
+    /// Tombstoned objects with the epoch their delete was recorded at (the
+    /// store keeps dense ids; the index no longer reaches them).
+    deleted: Vec<(ObjectId, u64)>,
 }
 
 impl UpdateLog {
@@ -62,8 +72,26 @@ impl UpdateLog {
         self.epoch
     }
 
-    /// Nodes changed after `since`, sorted.
+    /// Oldest client epoch this log can produce a complete invalidation
+    /// list for. Contacts stamped below it get a full-refresh refusal.
+    pub fn low_water(&self) -> u64 {
+        self.low_water
+    }
+
+    /// Whether `changed_since(since)` would be complete (nothing relevant
+    /// was pruned away).
+    pub fn can_answer(&self, since: u64) -> bool {
+        since >= self.low_water
+    }
+
+    /// Nodes changed after `since`, sorted. Complete only when
+    /// [`can_answer`](UpdateLog::can_answer) holds for `since`.
     pub fn changed_since(&self, since: u64) -> Vec<NodeId> {
+        debug_assert!(
+            self.can_answer(since),
+            "changed_since({since}) below the low-water mark {} under-reports",
+            self.low_water
+        );
         let mut out: Vec<NodeId> = self
             .node_changes
             .iter()
@@ -74,12 +102,32 @@ impl UpdateLog {
         out
     }
 
-    pub fn deleted_objects(&self) -> &[ObjectId] {
+    /// Retained tombstones as `(object, delete epoch)` pairs. Bounded by
+    /// pruning: tombstones at or below the low-water mark are gone (the
+    /// store's liveness bitset remains the ground truth for deadness).
+    pub fn deleted_objects(&self) -> &[(ObjectId, u64)] {
         &self.deleted
     }
 
-    pub(crate) fn record_delete(&mut self, id: ObjectId) {
-        self.deleted.push(id);
+    /// Number of retained change records (nodes + tombstones) — the
+    /// resident-footprint diagnostic the epoch-cost experiment reports.
+    pub fn retained_records(&self) -> usize {
+        self.node_changes.len() + self.deleted.len()
+    }
+
+    /// Drops every record at or below `horizon` and raises the low-water
+    /// mark to it. Idempotent; a horizon below the current mark is a no-op.
+    pub(crate) fn prune(&mut self, horizon: u64) {
+        if horizon <= self.low_water {
+            return;
+        }
+        self.node_changes.retain(|_, &mut e| e > horizon);
+        self.deleted.retain(|&(_, e)| e > horizon);
+        self.low_water = horizon;
+    }
+
+    pub(crate) fn record_delete(&mut self, id: ObjectId, epoch: u64) {
+        self.deleted.push((id, epoch));
     }
 
     pub(crate) fn bump_epoch(&mut self) -> u64 {
@@ -94,10 +142,23 @@ impl UpdateLog {
 
 impl Server {
     /// Applies one batch of updates atomically while queries keep running:
-    /// delegates to [`crate::ServerCore::apply_updates`], which publishes
-    /// the next snapshot with a single pointer swap. Returns the new epoch.
+    /// delegates to [`crate::ServerCore::apply_updates_bounded`], which
+    /// publishes the next snapshot with a single pointer swap. Returns the
+    /// new epoch.
+    ///
+    /// Update-log history is pruned below the fleet's **low-water mark**
+    /// (the minimum last-synced epoch over tracked versioned clients, fed
+    /// by every versioned contact) and, regardless of clients, below the
+    /// configured [`max_update_history`](crate::ServerConfig) epochs — so
+    /// a long-running server under sustained churn keeps a bounded
+    /// invalidation log. Clients that fall below the pruned horizon get a
+    /// [`VersionedReply::FullRefresh`] refusal at their next contact.
     pub fn apply_updates(&self, updates: &[Update]) -> u64 {
-        self.core().apply_updates(updates)
+        self.core().apply_updates_bounded(
+            updates,
+            self.adaptive().epoch_low_water(),
+            self.config().max_update_history,
+        )
     }
 
     /// The version-aware stage ② of the invalidation protocol. The epoch
@@ -113,6 +174,15 @@ impl Server {
     /// state, making every contact answer current; the price is one extra
     /// round trip per (client × update-epoch) gap, which the experiments
     /// charge honestly.
+    ///
+    /// A client stamped **below the log's low-water mark** cannot be given
+    /// a complete invalidation list (that history was pruned); it gets a
+    /// [`VersionedReply::FullRefresh`] and must drop its cache and re-sync
+    /// — never a silently truncated list.
+    ///
+    /// Every contact also records the epoch this client will sync to in
+    /// the adaptive table, which is what keeps the fleet low-water mark —
+    /// and thus pruning — honest.
     pub fn process_remainder_versioned(
         &self,
         client: ClientId,
@@ -120,6 +190,12 @@ impl Server {
         client_epoch: u64,
     ) -> VersionedReply {
         let snap = self.core().pin();
+        self.note_client_epoch(client, snap.epoch());
+        if !snap.update_log().can_answer(client_epoch) {
+            return VersionedReply::FullRefresh {
+                epoch: snap.epoch(),
+            };
+        }
         let invalidate = snap.update_log().changed_since(client_epoch);
         if !invalidate.is_empty() {
             return VersionedReply::Stale {
@@ -269,7 +345,7 @@ mod tests {
                 assert_eq!(epoch, 1);
                 assert!(invalidate.contains(&leaf));
             }
-            VersionedReply::Fresh { .. } => panic!("must refuse a stale resume"),
+            other => panic!("must refuse a stale resume, got {other:?}"),
         }
         // With the current epoch it goes through.
         match server.process_remainder_versioned(0, &rq, 1) {
@@ -279,7 +355,7 @@ mod tests {
                 assert!(invalidate.is_empty());
                 assert!(!reply.index.is_empty());
             }
-            VersionedReply::Stale { .. } => panic!("current epoch must be fresh"),
+            other => panic!("current epoch must be fresh, got {other:?}"),
         }
     }
 
@@ -320,14 +396,137 @@ mod tests {
             VersionedReply::Stale { invalidate, .. } => {
                 assert!(!invalidate.is_empty());
             }
-            VersionedReply::Fresh { .. } => {
-                panic!("behind-epoch contact must be refused")
-            }
+            other => panic!("behind-epoch contact must be refused, got {other:?}"),
         }
         match server.process_remainder_versioned(0, &rq, snap.epoch()) {
             VersionedReply::Fresh { invalidate, .. } => assert!(invalidate.is_empty()),
-            VersionedReply::Stale { .. } => panic!("current epoch must be fresh"),
+            other => panic!("current epoch must be fresh, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn history_cap_prunes_the_log_and_refuses_ancient_clients() {
+        let cfg = ServerConfig {
+            max_update_history: 3,
+            ..ServerConfig::default()
+        };
+        let server = Server::from_core(
+            crate::ServerCore::build(
+                pc_rtree::ObjectStore::new(
+                    (0..200)
+                        .map(|i| SpatialObject {
+                            id: ObjectId(i),
+                            mbr: Rect::from_point(Point::new(
+                                (i % 20) as f64 * 0.05,
+                                (i / 20) as f64 * 0.1,
+                            )),
+                            size_bytes: 100,
+                        })
+                        .collect(),
+                ),
+                RTreeConfig::small(),
+            ),
+            cfg,
+        );
+        for i in 0..10u32 {
+            server.apply_updates(&[Update::Delete(ObjectId(i))]);
+        }
+        let log_snap = server.snapshot();
+        let log = log_snap.update_log();
+        assert_eq!(log.epoch(), 10);
+        assert_eq!(log.low_water(), 7, "epoch 10 minus 3 epochs of history");
+        assert!(
+            log.deleted_objects().iter().all(|&(_, e)| e > 7),
+            "tombstones at or below the horizon are pruned"
+        );
+        assert!(log.retained_records() > 0);
+        assert!(log.can_answer(7) && !log.can_answer(6));
+
+        // A client synced within the window still gets a Stale with a
+        // complete list; one below the horizon gets a FullRefresh.
+        let root = log_snap.tree().root();
+        let mbr = log_snap.tree().root_mbr().unwrap();
+        let rq = RemainderQuery {
+            spec: QuerySpec::Range { window: mbr },
+            already_found: 0,
+            heap: vec![(
+                0.0,
+                HeapEntry::Single(Side::Cell {
+                    cell: CellRef::node_root(root),
+                    mbr,
+                }),
+            )],
+        };
+        match server.process_remainder_versioned(1, &rq, 8) {
+            VersionedReply::Stale { invalidate, epoch } => {
+                assert_eq!(epoch, 10);
+                assert!(!invalidate.is_empty());
+            }
+            other => panic!("in-window client must get Stale, got {other:?}"),
+        }
+        match server.process_remainder_versioned(2, &rq, 2) {
+            VersionedReply::FullRefresh { epoch } => assert_eq!(epoch, 10),
+            other => panic!("below-horizon client must get FullRefresh, got {other:?}"),
+        }
+        // Both contacts fed the fleet low-water mark.
+        assert_eq!(server.client_last_epoch(1), Some(10));
+        assert_eq!(server.client_last_epoch(2), Some(10));
+        assert_eq!(server.epoch_low_water(), Some(10));
+    }
+
+    #[test]
+    fn fleet_low_water_mark_prunes_ahead_of_the_history_cap() {
+        // Two clients catch up to the current epoch; the next publish can
+        // prune everything below it even though the history cap (default
+        // 1024) is nowhere near.
+        let server = sample_server(300, 7);
+        server.apply_updates(&[Update::Delete(ObjectId(1))]);
+        server.apply_updates(&[Update::Delete(ObjectId(2))]);
+        let rq = {
+            let snap = server.snapshot();
+            let root = snap.tree().root();
+            let mbr = snap.tree().root_mbr().unwrap();
+            RemainderQuery {
+                spec: QuerySpec::Range { window: mbr },
+                already_found: 0,
+                heap: vec![(
+                    0.0,
+                    HeapEntry::Single(Side::Cell {
+                        cell: CellRef::node_root(root),
+                        mbr,
+                    }),
+                )],
+            }
+        };
+        // Both clients sync to epoch 2 (a Stale reply updates them).
+        for client in [5u32, 6] {
+            match server.process_remainder_versioned(client, &rq, 0) {
+                VersionedReply::Stale { epoch, .. } => assert_eq!(epoch, 2),
+                other => panic!("expected Stale, got {other:?}"),
+            }
+        }
+        assert_eq!(server.epoch_low_water(), Some(2));
+        assert!(server.snapshot().update_log().retained_records() > 0);
+        // The next publish prunes below the fleet mark.
+        server.apply_updates(&[Update::Delete(ObjectId(3))]);
+        let snap = server.snapshot();
+        assert_eq!(snap.update_log().low_water(), 2);
+        assert!(
+            snap.update_log()
+                .deleted_objects()
+                .iter()
+                .all(|&(_, e)| e > 2),
+            "records at or below the fleet mark are pruned"
+        );
+        // A brand-new client pinning the current snapshot is never below
+        // the horizon (the mark is ≤ the epoch current at prune time).
+        match server.process_remainder_versioned(9, &rq, snap.epoch()) {
+            VersionedReply::Fresh { .. } => {}
+            other => panic!("current-epoch client must be Fresh, got {other:?}"),
+        }
+        // A disconnect releases the client's pin on the mark.
+        assert!(server.forget_client(5));
+        assert!(server.forget_client(6));
     }
 
     #[test]
@@ -346,16 +545,9 @@ mod tests {
                     while !stop.load(Ordering::Acquire) {
                         let snap = server.snapshot();
                         let got = snap.direct(&QuerySpec::Range { window: w });
-                        let deleted: HashSet<ObjectId> = snap
-                            .update_log()
-                            .deleted_objects()
-                            .iter()
-                            .copied()
-                            .collect();
-                        let want: Vec<ObjectId> = naive::range_naive(snap.store(), &w)
-                            .into_iter()
-                            .filter(|id| !deleted.contains(id))
-                            .collect();
+                        // The naive oracle skips tombstoned objects via the
+                        // store's liveness bitset.
+                        let want = naive::range_naive(snap.store(), &w);
                         let mut ids: Vec<ObjectId> =
                             got.results.iter().map(|&(id, _)| id).collect();
                         ids.sort_unstable();
@@ -402,7 +594,103 @@ mod tests {
     }
 
     proptest! {
-        #![proptest_config(ProptestConfig::with_cases(6))]
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// Pruning never turns into silent truncation: for any client epoch
+        /// at or above the log's low-water mark, `changed_since` still
+        /// contains the old leaf of every moved/deleted object since that
+        /// epoch; for any epoch *below* the mark the versioned path refuses
+        /// with `FullRefresh` instead of answering from pruned history.
+        #[test]
+        fn pruned_changed_since_never_under_reports(
+            seed in 0u64..300,
+            batches in 2usize..7,
+            per_batch in 1usize..4,
+            history in 1u64..4,
+        ) {
+            let cfg = ServerConfig {
+                max_update_history: history,
+                ..ServerConfig::default()
+            };
+            let base = sample_server(200, seed);
+            let server = Server::from_core(base.core().clone(), cfg);
+            let mut rng = SmallRng::seed_from_u64(seed ^ 0xFACADE);
+            // (pin epoch, victim leaves at that pin) per batch.
+            let mut watch: Vec<(u64, Vec<NodeId>)> = Vec::new();
+            for _ in 0..batches {
+                let old = server.core().pin();
+                let n_live = old.store().len() as u32;
+                let updates: Vec<Update> = (0..per_batch)
+                    .map(|_| match rng.random_range(0..3u32) {
+                        0 => Update::Insert {
+                            mbr: Rect::from_point(Point::new(
+                                rng.random_range(0.0..1.0),
+                                rng.random_range(0.0..1.0),
+                            )),
+                            size_bytes: 700,
+                        },
+                        1 => Update::Delete(ObjectId(rng.random_range(0..n_live))),
+                        _ => Update::Move {
+                            id: ObjectId(rng.random_range(0..n_live)),
+                            to: Rect::from_point(Point::new(
+                                rng.random_range(0.0..1.0),
+                                rng.random_range(0.0..1.0),
+                            )),
+                        },
+                    })
+                    .collect();
+                let victims: Vec<NodeId> = updates
+                    .iter()
+                    .filter_map(|u| match *u {
+                        Update::Delete(id) | Update::Move { id, .. } => leaf_of(&old, id),
+                        Update::Insert { .. } => None,
+                    })
+                    .collect();
+                watch.push((old.epoch(), victims));
+                server.apply_updates(&updates);
+            }
+            let snap = server.snapshot();
+            let log = snap.update_log();
+            let current = snap.epoch();
+            prop_assert_eq!(log.low_water(), current.saturating_sub(history));
+            for (since, victims) in watch {
+                if log.can_answer(since) {
+                    let changed: HashSet<NodeId> =
+                        log.changed_since(since).into_iter().collect();
+                    for leaf in victims {
+                        prop_assert!(changed.contains(&leaf));
+                    }
+                } else {
+                    // Below the mark: the protocol refuses outright.
+                    let root = snap.tree().root();
+                    let mbr = snap.tree().root_mbr().unwrap();
+                    let rq = RemainderQuery {
+                        spec: QuerySpec::Range { window: mbr },
+                        already_found: 0,
+                        heap: vec![(
+                            0.0,
+                            HeapEntry::Single(Side::Cell {
+                                cell: CellRef::node_root(root),
+                                mbr,
+                            }),
+                        )],
+                    };
+                    match server.process_remainder_versioned(0, &rq, since) {
+                        VersionedReply::FullRefresh { epoch } => {
+                            prop_assert_eq!(epoch, current);
+                        }
+                        other => {
+                            prop_assert!(
+                                false,
+                                "below-mark epoch {} must be refused, got {:?}",
+                                since,
+                                other
+                            );
+                        }
+                    }
+                }
+            }
+        }
 
         /// Readers pinned during an `apply_updates` storm always observe a
         /// consistent (tree, BPT, epoch) triple, and `changed_since` never

@@ -50,6 +50,10 @@ pub struct FleetResult {
     pub updates_applied: u64,
     /// Server epoch when the run finished (0 without churn).
     pub final_epoch: u64,
+    /// Update-log records (changed nodes + tombstones) retained when the
+    /// run finished — the low-water pruning keeps this bounded under
+    /// sustained churn (0 without churn).
+    pub log_records: usize,
 }
 
 impl FleetResult {
@@ -66,6 +70,7 @@ impl FleetResult {
             wall_s,
             updates_applied: 0,
             final_epoch: 0,
+            log_records: 0,
         }
     }
 
@@ -175,6 +180,7 @@ impl Fleet {
         if let Some((applied, epoch)) = churn_out {
             out.updates_applied = applied;
             out.final_epoch = epoch;
+            out.log_records = server.core().pin().update_log().retained_records();
         }
         out
     }
@@ -215,7 +221,10 @@ fn drive_updates(
             let n = churn.batch.min((target - applied) as usize);
             let n_live = core.pin().store().len() as u32;
             let batch: Vec<Update> = (0..n).map(|_| generate_update(&mut rng, n_live)).collect();
-            epoch = core.apply_updates(&batch);
+            // Through the handle, not the bare core: server-backed handles
+            // prune update-log history below the fleet low-water mark on
+            // every publish, keeping the invalidation log bounded.
+            epoch = server.apply_updates(&batch);
             applied += n as u64;
         }
         if finished {

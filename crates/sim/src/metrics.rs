@@ -55,6 +55,9 @@ pub struct QueryRecord {
     /// Extra round trips caused by stale refusals (§7 invalidation
     /// protocol; 0 unless the run uses versioned remainders under churn).
     pub stale_retries: u32,
+    /// Full-refresh refusals (the client fell below the server's pruned
+    /// invalidation horizon and dropped its whole cache).
+    pub full_refreshes: u32,
     /// Downlink bytes of invalidation lists + epoch stamps piggybacked on
     /// versioned replies (already included in `downlink_bytes`).
     pub invalidation_bytes: u64,
@@ -77,6 +80,7 @@ pub struct SummaryTotals {
     pub false_misses: u64,
     pub contacts: u64,
     pub stale_retries: u64,
+    pub full_refreshes: u64,
     pub invalidation_bytes: u64,
     pub client_expansions: u64,
     /// Sum of per-query §4.1 response times over queries with results.
@@ -98,6 +102,7 @@ impl SummaryTotals {
         self.false_misses += r.false_misses as u64;
         self.contacts += r.contacted as u64;
         self.stale_retries += r.stale_retries as u64;
+        self.full_refreshes += r.full_refreshes as u64;
         self.invalidation_bytes += r.invalidation_bytes;
         self.client_expansions += r.client_expansions;
         if r.result_bytes > 0 {
@@ -120,6 +125,7 @@ impl SummaryTotals {
             false_misses: self.false_misses + other.false_misses,
             contacts: self.contacts + other.contacts,
             stale_retries: self.stale_retries + other.stale_retries,
+            full_refreshes: self.full_refreshes + other.full_refreshes,
             invalidation_bytes: self.invalidation_bytes + other.invalidation_bytes,
             client_expansions: self.client_expansions + other.client_expansions,
             response_s: self.response_s + other.response_s,

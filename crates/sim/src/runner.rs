@@ -12,8 +12,8 @@ use pc_client::Client;
 use pc_geom::Point;
 use pc_net::Ledger;
 use pc_rtree::proto::{
-    QuerySpec, Request, VersionedReply, CONFIRM_BYTES, EPOCH_BYTES, INVALIDATION_BYTES,
-    OBJECT_HEADER_BYTES, PAIR_BYTES,
+    QuerySpec, Request, VersionedReply, CONFIRM_BYTES, EPOCH_BYTES, FULL_REFRESH_BYTES,
+    INVALIDATION_BYTES, OBJECT_HEADER_BYTES, PAIR_BYTES,
 };
 use pc_rtree::ObjectId;
 use pc_server::{ClientId, ServerHandle};
@@ -35,6 +35,9 @@ pub struct RunOutput {
     pub client_expansions: u64,
     /// Extra round trips after stale refusals (versioned protocol only).
     pub stale_retries: u32,
+    /// Full-refresh refusals suffered (the client fell below the server's
+    /// pruned invalidation horizon and dropped its whole cache).
+    pub full_refreshes: u32,
     /// Invalidation-list + epoch-stamp downlink bytes (versioned protocol
     /// only; also charged into the ledger's extra downlink).
     pub invalidation_bytes: u64,
@@ -238,21 +241,22 @@ impl ProactiveRunner {
         pos: Point,
         server_time_s: f64,
     ) -> RunOutput {
-        // Pinned once per query: epochs only advance, and everything the
-        // client can reference (its cache, confirmed ids) was known by
-        // this pin's epoch, so size lookups never miss.
-        let snap = server.core().pin();
-        let store = snap.store();
         self.client.begin_query();
         let mut ledger = Ledger::default();
         let mut server_cpu_s = 0.0;
         let mut stale_retries = 0u32;
+        let mut full_refreshes = 0u32;
         let mut invalidation_bytes = 0u64;
         // A stale refusal advances the client to the refusing epoch, so
         // each retry needs a *new* epoch to land mid-query to repeat; the
         // churn driver's pacing makes long runs vanishingly unlikely, and
         // the cap turns a livelock into a loud failure.
         for _attempt in 0..64 {
+            // Re-pinned every attempt: after a refusal the next contact is
+            // answered by a newer epoch, so byte sizing must read a store
+            // at least as new as the reply — never the pre-query pin.
+            let snap = server.core().pin();
+            let store = snap.store();
             let local = self.client.run_local(spec);
             ledger.saved_bytes = local
                 .saved
@@ -270,6 +274,7 @@ impl ProactiveRunner {
                     server_cpu_s,
                     client_expansions: local.expansions,
                     stale_retries,
+                    full_refreshes,
                     invalidation_bytes,
                 };
             };
@@ -321,6 +326,7 @@ impl ProactiveRunner {
                         server_cpu_s,
                         client_expansions: local.expansions,
                         stale_retries,
+                        full_refreshes,
                         invalidation_bytes,
                     };
                 }
@@ -334,6 +340,21 @@ impl ProactiveRunner {
                     }
                     self.epoch = epoch;
                     // Loop: re-run stage ① against the cleaned cache.
+                }
+                VersionedReply::FullRefresh { .. } => {
+                    // The server pruned invalidation history below our
+                    // epoch: no per-node list exists. Drop the whole cache,
+                    // re-sync the catalog from a fresh pin (out-of-band
+                    // metadata, like the bootstrap catalog) and restart
+                    // stage ① cold. The refusal's fixed wire cost is
+                    // charged; re-warming shows up on later queries.
+                    full_refreshes += 1;
+                    invalidation_bytes += FULL_REFRESH_BYTES;
+                    ledger.extra_downlink_bytes += FULL_REFRESH_BYTES;
+                    let fresh = server.core().pin();
+                    self.client
+                        .full_refresh(pc_cache::Catalog::from_tree(fresh.tree()));
+                    self.epoch = fresh.epoch();
                 }
             }
         }
@@ -408,6 +429,7 @@ impl ModelRunner for ProactiveRunner {
             server_cpu_s,
             client_expansions: local.expansions,
             stale_retries: 0,
+            full_refreshes: 0,
             invalidation_bytes: 0,
         }
     }

@@ -164,6 +164,7 @@ impl ClientSession {
                 false_misses: (cached - served) as u32,
                 contacted: out.ledger.contacted_server,
                 stale_retries: out.stale_retries,
+                full_refreshes: out.full_refreshes,
                 invalidation_bytes: out.invalidation_bytes,
                 client_cpu_s: client_cpu,
                 server_cpu_s: out.server_cpu_s,

@@ -225,3 +225,242 @@ fn smaller_cache_cannot_beat_bigger_cache_by_much() {
         rs.summary.hit_c
     );
 }
+
+// ---------------------------------------------------------------------
+// Churn-path client fixes (§7 protocol drivers)
+// ---------------------------------------------------------------------
+
+mod churn_clients {
+    use crate::updates::UpdatingClient;
+    use pc_cache::{Catalog, ReplacementPolicy};
+    use pc_geom::{Point, Rect};
+    use pc_rtree::proto::{QuerySpec, Request, Response};
+    use pc_rtree::{naive, ObjectId, RTreeConfig};
+    use pc_server::{ClientId, Server, ServerConfig, ServerCore, ServerHandle, Transport, Update};
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    fn sample_server(n: usize, seed: u64, cfg: ServerConfig) -> Server {
+        Server::new(
+            pc_workload::datasets::ne_like(n, seed),
+            RTreeConfig::small(),
+            cfg,
+        )
+    }
+
+    fn warm_client(server: &Server, id: ClientId) -> UpdatingClient {
+        UpdatingClient::new(
+            1 << 22,
+            ReplacementPolicy::Grd3,
+            Catalog::from_tree(server.snapshot().tree()),
+        )
+        .with_client(id)
+        .at_epoch(server.snapshot().epoch())
+    }
+
+    #[test]
+    fn updating_client_sends_its_own_id() {
+        // Regression: `UpdatingClient::query` used to hardcode client 0,
+        // corrupting per-client adaptive state and epoch attribution the
+        // moment two clients shared a server.
+        let server = sample_server(500, 11, ServerConfig::default());
+        let mut a = warm_client(&server, 7);
+        let mut b = warm_client(&server, 9);
+        let pos = Point::new(0.31, 0.36);
+        let spec = QuerySpec::Range {
+            window: Rect::centered_square(pos, 0.2),
+        };
+        let out = a.query(&server, &spec, pos, 0.0);
+        assert!(out.ledger.contacted_server);
+        b.query(&server, &spec, pos, 0.0);
+        assert_eq!(server.client_last_epoch(7), Some(0), "a's contact is a's");
+        assert_eq!(server.client_last_epoch(9), Some(0), "b's contact is b's");
+        assert_eq!(
+            server.client_last_epoch(0),
+            None,
+            "nothing may be attributed to a hardcoded client 0"
+        );
+    }
+
+    /// A handle that injects one update batch *before forwarding* each of
+    /// the first `races` versioned remainders — the worst-case interleaving
+    /// where every retry is answered by a yet-newer epoch.
+    struct RacingHandle<'a> {
+        server: &'a Server,
+        races: AtomicU32,
+    }
+
+    impl Transport for RacingHandle<'_> {
+        fn call(&self, client: ClientId, req: Request) -> Response {
+            if matches!(req, Request::RemainderVersioned { .. })
+                && self
+                    .races
+                    .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |r| r.checked_sub(1))
+                    .is_ok()
+            {
+                self.server.apply_updates(&[Update::Move {
+                    id: ObjectId(0),
+                    to: Rect::from_point(Point::new(0.97, 0.03)),
+                }]);
+            }
+            self.server.call(client, req)
+        }
+    }
+
+    impl ServerHandle for RacingHandle<'_> {
+        fn core(&self) -> &ServerCore {
+            self.server.core()
+        }
+    }
+
+    #[test]
+    fn updating_client_survives_repeated_mid_query_epoch_races() {
+        // Regression for the 4-attempt retry cap: ten consecutive races
+        // force ten stale refusals on one query. The client must keep
+        // re-running stage ① (sizing each attempt off a fresh pin) and
+        // converge with the exact current answer — the old cap panicked
+        // at attempt 4.
+        let races = 10;
+        let server = sample_server(600, 3, ServerConfig::default());
+        let handle = RacingHandle {
+            server: &server,
+            races: AtomicU32::new(races),
+        };
+        let mut client = warm_client(&server, 4);
+        let pos = Point::new(0.31, 0.36);
+        let spec = QuerySpec::Range {
+            window: Rect::centered_square(pos, 0.25),
+        };
+        let out = client.query(&handle, &spec, pos, 0.0);
+        assert_eq!(
+            out.round_trips,
+            races + 1,
+            "every race costs exactly one refused round trip"
+        );
+        assert_eq!(out.full_refreshes, 0, "full history: no refresh needed");
+        assert_eq!(client.epoch(), races as u64);
+        client.client().cache().validate().unwrap();
+        let QuerySpec::Range { window } = spec else {
+            unreachable!()
+        };
+        let mut got = out.answer.objects.clone();
+        got.sort_unstable();
+        got.dedup();
+        assert_eq!(
+            got,
+            naive::range_naive(server.snapshot().store(), &window),
+            "the converged answer must be exact for the final epoch"
+        );
+    }
+
+    #[test]
+    fn updating_client_recovers_from_a_full_refresh() {
+        // A client whose epoch fell below the server's pruned invalidation
+        // horizon gets a FullRefresh refusal: it must drop its whole
+        // cache, re-sync the catalog, and still answer exactly.
+        let server = sample_server(
+            700,
+            5,
+            ServerConfig {
+                max_update_history: 2,
+                ..ServerConfig::default()
+            },
+        );
+        let mut client = warm_client(&server, 3);
+        let pos = Point::new(0.31, 0.36);
+        let spec = QuerySpec::Range {
+            window: Rect::centered_square(pos, 0.25),
+        };
+        let first = client.query(&server, &spec, pos, 0.0);
+        assert!(first.ledger.contacted_server);
+        assert!(
+            !client.client().cache().is_empty(),
+            "the warm-up query must have cached something"
+        );
+
+        // Six epochs of churn: history is capped at 2, so epoch 0 is far
+        // below the low-water mark (4).
+        for i in 0..6u32 {
+            server.apply_updates(&[Update::Move {
+                id: ObjectId(i),
+                to: Rect::from_point(Point::new(0.9, 0.05 + 0.01 * i as f64)),
+            }]);
+        }
+        assert_eq!(server.snapshot().update_log().low_water(), 4);
+
+        // A wider window than the warmed one: stage ① cannot finish
+        // locally, so the client must contact — and be refused.
+        let spec = QuerySpec::Range {
+            window: Rect::centered_square(pos, 0.5),
+        };
+        let out = client.query(&server, &spec, pos, 0.0);
+        assert_eq!(out.full_refreshes, 1, "one refusal, one refresh");
+        assert_eq!(out.round_trips, 2, "refresh + resubmit");
+        assert!(
+            out.invalidated_items > 0,
+            "the refresh must have dropped the warm cache"
+        );
+        assert_eq!(client.epoch(), 6, "re-synced to the current epoch");
+        client.client().cache().validate().unwrap();
+        let QuerySpec::Range { window } = spec else {
+            unreachable!()
+        };
+        let mut got = out.answer.objects.clone();
+        got.sort_unstable();
+        got.dedup();
+        assert_eq!(got, naive::range_naive(server.snapshot().store(), &window));
+    }
+
+    #[test]
+    fn versioned_runner_recovers_from_a_full_refresh() {
+        use crate::runner::{ModelRunner, ProactiveRunner};
+        let server = sample_server(
+            600,
+            8,
+            ServerConfig {
+                max_update_history: 1,
+                ..ServerConfig::default()
+            },
+        );
+        let mut runner = ProactiveRunner::new(
+            1 << 22,
+            ReplacementPolicy::Grd3,
+            Catalog::from_tree(server.snapshot().tree()),
+        )
+        .with_client(2)
+        .versioned(true)
+        .at_epoch(0);
+        let pos = Point::new(0.31, 0.36);
+        let spec = QuerySpec::Range {
+            window: Rect::centered_square(pos, 0.25),
+        };
+        // Warm, then outrun the 1-epoch history window.
+        let handle: &dyn ServerHandle = &server;
+        runner.run_query(handle, &spec, pos, 0.0);
+        for i in 0..4u32 {
+            server.apply_updates(&[Update::Move {
+                id: ObjectId(i),
+                to: Rect::from_point(Point::new(0.92, 0.04 + 0.01 * i as f64)),
+            }]);
+        }
+        let spec = QuerySpec::Range {
+            window: Rect::centered_square(pos, 0.5),
+        };
+        let out = runner.run_query(handle, &spec, pos, 0.0);
+        assert_eq!(out.full_refreshes, 1);
+        assert!(out.invalidation_bytes > 0, "the refusal is charged");
+        let mut got = out.objects.clone();
+        got.sort_unstable();
+        got.dedup();
+        assert_eq!(
+            got,
+            naive::range_naive(server.snapshot().store(), &window_of(&spec))
+        );
+    }
+
+    fn window_of(spec: &QuerySpec) -> Rect {
+        match spec {
+            QuerySpec::Range { window } => *window,
+            _ => unreachable!(),
+        }
+    }
+}

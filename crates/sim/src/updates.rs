@@ -11,11 +11,11 @@ use pc_client::{Client, QueryAnswer};
 use pc_geom::{Point, Rect};
 use pc_net::Ledger;
 use pc_rtree::proto::{
-    QuerySpec, Request, CONFIRM_BYTES, EPOCH_BYTES, INVALIDATION_BYTES, OBJECT_HEADER_BYTES,
-    PAIR_BYTES,
+    QuerySpec, Request, CONFIRM_BYTES, EPOCH_BYTES, FULL_REFRESH_BYTES, INVALIDATION_BYTES,
+    OBJECT_HEADER_BYTES, PAIR_BYTES,
 };
 use pc_rtree::{NodeId, ObjectId};
-use pc_server::{ServerHandle, Update, VersionedReply};
+use pc_server::{ClientId, ServerHandle, Update, VersionedReply};
 use rand::rngs::SmallRng;
 use rand::Rng;
 
@@ -29,11 +29,17 @@ pub struct UpdatingOutcome {
     pub round_trips: u32,
     /// Node items dropped by invalidation during this query.
     pub invalidated_items: usize,
+    /// Full-refresh refusals suffered (the client fell below the server's
+    /// pruned invalidation horizon and dropped its whole cache).
+    pub full_refreshes: u32,
 }
 
 /// A proactive client that follows the epoch-stamped invalidation protocol.
 pub struct UpdatingClient {
     client: Client,
+    /// The id this client identifies as on every contact — it selects the
+    /// server-side adaptive state and feeds the fleet low-water mark.
+    client_id: ClientId,
     epoch: u64,
 }
 
@@ -41,12 +47,32 @@ impl UpdatingClient {
     pub fn new(capacity: u64, policy: ReplacementPolicy, catalog: Catalog) -> Self {
         UpdatingClient {
             client: Client::new(capacity, policy, catalog),
+            client_id: 0,
             epoch: 0,
         }
     }
 
+    /// Identifies this client as `id` towards the server (mirrors
+    /// `ProactiveRunner::with_client`). Without this every request would
+    /// travel as client 0, corrupting per-client adaptive state and fmr
+    /// attribution the moment two clients share a server.
+    pub fn with_client(mut self, id: ClientId) -> Self {
+        self.client_id = id;
+        self
+    }
+
+    /// Declares the epoch this client's catalog/cache state was built from.
+    pub fn at_epoch(mut self, epoch: u64) -> Self {
+        self.epoch = epoch;
+        self
+    }
+
     pub fn client(&self) -> &Client {
         &self.client
+    }
+
+    pub fn client_id(&self) -> ClientId {
+        self.client_id
     }
 
     pub fn epoch(&self) -> u64 {
@@ -62,9 +88,10 @@ impl UpdatingClient {
         dropped
     }
 
-    /// Runs one query to completion, retrying after stale refusals. All
-    /// contacts travel as [`Request::RemainderVersioned`] envelopes over
-    /// the handle's transport.
+    /// Runs one query to completion, retrying after stale refusals and
+    /// recovering from full-refresh refusals. All contacts travel as
+    /// [`Request::RemainderVersioned`] envelopes over the handle's
+    /// transport, stamped with this client's [`ClientId`].
     pub fn query(
         &mut self,
         server: &dyn ServerHandle,
@@ -72,14 +99,20 @@ impl UpdatingClient {
         pos: Point,
         server_time_s: f64,
     ) -> UpdatingOutcome {
-        let snap = server.core().pin();
-        let store = snap.store();
         let mut out = UpdatingOutcome::default();
         self.client.begin_query();
-        // A stale refusal can only happen once per update epoch the client
-        // is behind; with a bounded number of retries we either catch up or
-        // something is structurally wrong.
-        for _attempt in 0..4 {
+        // A stale refusal advances the client to the refusing epoch, so a
+        // retry only repeats when *another* update batch lands mid-query.
+        // Against a live concurrently-updating server that can happen
+        // repeatedly; the cap (matching `ProactiveRunner`'s) turns a
+        // pathological livelock into a loud failure instead of spinning.
+        for _attempt in 0..64 {
+            // Re-pinned every attempt: after a refusal the next contact is
+            // answered by a *newer* epoch, so byte sizing and liveness
+            // reads must come from a store at least as new as the reply —
+            // never the pre-query pin.
+            let snap = server.core().pin();
+            let store = snap.store();
             let local = self.client.run_local(spec);
             out.ledger.saved_bytes = local
                 .saved
@@ -98,7 +131,7 @@ impl UpdatingClient {
             out.ledger.contacted_server = true;
             out.ledger.uplink_bytes += req.wire_bytes();
             out.ledger.server_time_s += server_time_s;
-            match server.call(0, req).into_versioned() {
+            match server.call(self.client_id, req).into_versioned() {
                 VersionedReply::Fresh {
                     reply,
                     invalidate,
@@ -132,11 +165,24 @@ impl UpdatingClient {
                     self.epoch = epoch;
                     // Loop: re-run stage ① against the cleaned cache.
                 }
+                VersionedReply::FullRefresh { .. } => {
+                    // The server pruned history below our epoch: drop the
+                    // whole cache, re-sync the catalog from a fresh pin
+                    // (out-of-band metadata, like the bootstrap catalog)
+                    // and restart stage ① cold.
+                    out.full_refreshes += 1;
+                    out.ledger.extra_downlink_bytes += FULL_REFRESH_BYTES;
+                    let fresh = server.core().pin();
+                    let (items, _) = self.client.full_refresh(Catalog::from_tree(fresh.tree()));
+                    out.invalidated_items += items;
+                    self.epoch = fresh.epoch();
+                }
             }
         }
-        unreachable!(
-            "stale retries did not converge — updates racing the retry loop \
-             are impossible in a single-threaded simulation"
+        panic!(
+            "client {}: stale retries did not converge in 64 attempts — \
+             the update driver is outpacing every query",
+            self.client_id
         );
     }
 }

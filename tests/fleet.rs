@@ -277,6 +277,7 @@ fn churn_fleet_completes_with_stale_retry_bytes_in_ledger() {
                 t.false_misses,
                 t.contacts,
                 t.stale_retries,
+                t.full_refreshes,
                 t.invalidation_bytes,
                 t.client_expansions,
                 t.response_queries,
