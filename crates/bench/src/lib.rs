@@ -36,6 +36,9 @@ pub struct HarnessOpts {
     pub update_rate: u32,
     /// Updates per applied churn batch (one epoch bump per batch).
     pub update_batch: usize,
+    /// Shard counts for cluster-scaling experiments (`--shards 1,2,4,8`).
+    /// Empty = single-server mode.
+    pub shards: Vec<u32>,
     /// Write machine-readable results (JSON) to this path.
     pub json: Option<String>,
 }
@@ -53,6 +56,7 @@ impl HarnessOpts {
             batch_max: 16,
             update_rate: 0,
             update_batch: 1,
+            shards: Vec::new(),
             json: None,
         };
         let args: Vec<String> = std::env::args().collect();
@@ -99,6 +103,18 @@ impl HarnessOpts {
                     assert!(n > 0, "--update-batch must be ≥ 1");
                     opts.update_batch = n;
                 }
+                "--shards" => {
+                    i += 1;
+                    opts.shards = args[i]
+                        .split(',')
+                        .map(|s| {
+                            let n: u32 = s.trim().parse().expect("--shards N[,N...]");
+                            assert!(n > 0, "--shards entries must be ≥ 1");
+                            n
+                        })
+                        .collect();
+                    assert!(!opts.shards.is_empty(), "--shards needs at least one count");
+                }
                 "--json" => {
                     i += 1;
                     opts.json = Some(args[i].clone());
@@ -107,7 +123,8 @@ impl HarnessOpts {
                     eprintln!(
                         "options: --paper-scale | --objects N | --queries N | --seed S \
                          | --clients N | --threads N | --batch | --batch-max N \
-                         | --update-rate R | --update-batch B | --json OUT"
+                         | --update-rate R | --update-batch B | --shards N[,N...] \
+                         | --json OUT"
                     );
                     std::process::exit(0);
                 }

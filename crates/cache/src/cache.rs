@@ -576,6 +576,27 @@ impl ProactiveCache {
         (count, bytes)
     }
 
+    /// Drops only `node`'s own view, leaving cached descendants behind as
+    /// orphans (parent links cleared; re-linked by `adopt_orphan` when a
+    /// fresh shipment for `node` arrives). This is the right response when
+    /// the invalidated view is pure *routing* metadata whose children are
+    /// independently versioned — a sharded cluster's virtual super-root,
+    /// whose shard subtrees carry their own per-shard invalidation
+    /// entries. Returns `(items, bytes)` dropped (0 or 1 items).
+    pub fn invalidate_node_shallow(&mut self, node: NodeId) -> (usize, u64) {
+        let key = ItemKey::Node(node);
+        if !self.items.contains_key(&key) {
+            return (0, 0);
+        }
+        let children = std::mem::take(&mut self.items.get_mut(&key).unwrap().children);
+        for c in children {
+            if let Some(child) = self.items.get_mut(&c) {
+                child.meta.parent = None;
+            }
+        }
+        (1, self.remove_item(key))
+    }
+
     /// Drops *everything* — the client's response to a full-refresh
     /// refusal (§7 extension): the server pruned invalidation history below
     /// the client's epoch, so no per-node list exists and the whole cache

@@ -338,6 +338,44 @@ fn invalidate_node_drops_the_whole_subtree() {
 }
 
 #[test]
+fn shallow_invalidation_orphans_children_and_readopts() {
+    let mut c = big_cache(ReplacementPolicy::Grd3);
+    c.absorb(&sample_reply(), 1, Point::ORIGIN);
+    let before = c.used_bytes();
+    // Shallow-drop the root (a cluster's routing layer changed): only the
+    // root view goes; both leaf subtrees survive as orphans.
+    let (items, bytes) = c.invalidate_node_shallow(n(0));
+    assert_eq!(items, 1);
+    assert!(bytes > 0);
+    assert_eq!(c.used_bytes(), before - bytes);
+    c.validate().unwrap();
+    assert!(c.get(ItemKey::Node(n(0))).is_none());
+    assert!(c.get(ItemKey::Node(n(1))).unwrap().meta.parent.is_none());
+    assert!(c.contains_object(o(10)), "leaf contents survive");
+    assert!(c.contains_object(o(12)));
+    // Idempotent on missing nodes.
+    assert_eq!(c.invalidate_node_shallow(n(0)), (0, 0));
+    // When the (new) root layout ships, the orphans are adopted back.
+    c.absorb(
+        &ServerReply {
+            confirmed: vec![],
+            objects: vec![],
+            pairs: vec![],
+            index: vec![sample_reply().index[0].clone()],
+            expansions: 0,
+        },
+        2,
+        Point::ORIGIN,
+    );
+    c.validate().unwrap();
+    assert_eq!(
+        c.get(ItemKey::Node(n(1))).unwrap().meta.parent,
+        Some(ItemKey::Node(n(0)))
+    );
+    assert_eq!(c.get(ItemKey::Node(n(0))).unwrap().children.len(), 2);
+}
+
+#[test]
 fn clear_empties_the_cache_and_stays_usable() {
     let mut c = big_cache(ReplacementPolicy::Grd3);
     c.absorb(&sample_reply(), 1, Point::ORIGIN);

@@ -49,6 +49,20 @@ impl CachedNodeView {
     /// the subtree under the cell the client asked about, so sibling
     /// information is always complete up to an already-known cell).
     pub fn merge(&mut self, records: &[CellRecord]) {
+        self.merge_records(records);
+        if cfg!(debug_assertions) {
+            if let Err(e) = self.debug_validate() {
+                panic!(
+                    "view invariant broken: {e}; level={} records={:?} cells={:?}",
+                    self.level,
+                    records,
+                    self.cells.keys().collect::<Vec<_>>()
+                );
+            }
+        }
+    }
+
+    fn merge_records(&mut self, records: &[CellRecord]) {
         for r in records {
             self.cells.insert(
                 r.code,
@@ -85,7 +99,6 @@ impl CachedNodeView {
                 cur = parent;
             }
         }
-        debug_assert_eq!(self.debug_validate(), Ok(()));
     }
 
     #[inline]

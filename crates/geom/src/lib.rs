@@ -10,9 +10,11 @@
 //! intersection/containment tests, union, area/margin for R*-tree split
 //! heuristics).
 
+mod grid;
 mod point;
 mod rect;
 
+pub use grid::TileGrid;
 pub use point::Point;
 pub use rect::Rect;
 

@@ -1,0 +1,1740 @@
+//! The spatially-sharded cluster: the unit square is cut into a fixed
+//! [`TileGrid`] of tiles, tiles map to shards round-robin, and each shard
+//! is a full [`Server`] (its own [`ServerCore`] snapshot cell, adaptive
+//! controller and update log) indexing exactly the objects whose MBRs
+//! touch its tiles. Objects straddling tile boundaries are **replicated**
+//! into every owning shard's tree — which is what makes per-shard
+//! staleness sound (any change to an object touches all shards a query
+//! over it could route to) — and the router deduplicates them on merge so
+//! each object is wire-charged to the client exactly once.
+//!
+//! [`Cluster`] implements [`ServerHandle`]: clients navigate a synthetic
+//! **super-root** node (a BPT over the shard root MBRs, shipped like any
+//! other node) whose leaves hand off into per-shard subtrees; remainder
+//! heaps are decomposed by ownership into per-shard sub-queries
+//! ([`ShardSubRequest`]), resumed against each shard's pinned snapshot,
+//! and gathered ([`ShardSubReply`], carrying the per-shard
+//! [`EpochVector`]) into one client-facing reply. Shard node ids are
+//! translated into disjoint global ranges (`global = local·N + shard`) so
+//! one client cache can hold index slices of every shard at once.
+//!
+//! Updates route by location: one cluster batch is applied to the global
+//! store once, split into per-shard tree operations by before/after tile
+//! ownership ([`PartitionOp`]) and published **in parallel, only to the
+//! shards it touches** — untouched shards keep their epoch, so a reply's
+//! staleness is decided per shard, not globally. Clients keep speaking
+//! the scalar-epoch protocol: the cluster epoch indexes a history of
+//! per-shard epoch vectors, and the router re-expands a client's scalar
+//! stamp into the vector it was synced at.
+
+use crate::core::{PartitionOp, ServerCore, Snapshot};
+use crate::forms::build_shipments;
+use crate::server::{ClientId, Server, ServerConfig};
+use crate::transport::{ServerHandle, Transport};
+use crate::updates::Update;
+use pc_geom::{Rect, TileGrid};
+use pc_rtree::bpt::{Bpt, BptCellKind, Code};
+use pc_rtree::engine::{
+    execute, resume, AccessLog, CellChild, Expansion, IndexView, NoopTracer, Outcome, Target,
+};
+use pc_rtree::proto::{
+    CellKind, CellRecord, CellRef, DirectReply, EpochVector, HeapEntry, NodeShipment, QuerySpec,
+    RemainderQuery, Request, Response, ServerReply, ShardSubReply, ShardSubRequest, Side,
+    VersionedReply,
+};
+use pc_rtree::view::FullView;
+use pc_rtree::{NodeId, ObjectId, ObjectStore, RTreeConfig, SpatialObject};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// The synthetic node id of the cluster's super-root (the BPT over shard
+/// root MBRs a client's catalog points at). Deliberately the topmost id so
+/// it can never collide with a translated shard node id.
+pub const SUPER_ROOT: NodeId = NodeId(u32::MAX);
+
+// ---------------------------------------------------------------------
+// Configuration + shard map
+// ---------------------------------------------------------------------
+
+/// Cluster-level configuration: shard count, tile resolution and the
+/// per-shard server policy.
+#[derive(Clone, Copy, Debug)]
+pub struct ClusterConfig {
+    /// Number of shards (1..=64; ownership sets travel as a `u64` bitmask).
+    pub shards: u32,
+    /// Tiles per grid axis; 0 picks `ceil(sqrt(4·shards))` so every shard
+    /// owns a handful of tiles and boundary straddlers stay rare.
+    pub grid: u32,
+    /// Configuration applied to every shard's [`Server`].
+    pub server: ServerConfig,
+}
+
+impl ClusterConfig {
+    /// A cluster of `shards` shards with the default grid and server
+    /// policy.
+    pub fn new(shards: u32) -> Self {
+        ClusterConfig {
+            shards,
+            grid: 0,
+            server: ServerConfig::default(),
+        }
+    }
+
+    /// Tiles per axis after defaulting.
+    pub fn grid_per_axis(&self) -> u32 {
+        if self.grid > 0 {
+            self.grid
+        } else {
+            (4.0 * self.shards as f64).sqrt().ceil() as u32
+        }
+    }
+
+    /// Rejects configurations that would silently misbehave (zero-shard
+    /// clusters foremost). Called by [`Cluster::new`], which panics with
+    /// the returned message.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.shards == 0 {
+            return Err(
+                "ClusterConfig::shards must be ≥ 1: a zero-shard cluster owns no tiles and \
+                 could answer no query"
+                    .to_string(),
+            );
+        }
+        if self.shards > 64 {
+            return Err(format!(
+                "ClusterConfig::shards must be ≤ 64 (got {}): tile-ownership sets travel \
+                 as a u64 bitmask",
+                self.shards
+            ));
+        }
+        if self.grid > 0 && (self.grid as u64 * self.grid as u64) < self.shards as u64 {
+            return Err(format!(
+                "ClusterConfig::grid {}×{} has fewer tiles than the {} shards — some shards \
+                 would own nothing",
+                self.grid, self.grid, self.shards
+            ));
+        }
+        self.server.validate()
+    }
+}
+
+/// Tile → shard ownership: tiles are dealt round-robin over the grid's
+/// row-major order, an object belongs to every shard owning a tile its
+/// MBR covers, and node ids translate between shard-local and
+/// cluster-global spaces.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardMap {
+    grid: TileGrid,
+    shards: u32,
+}
+
+impl ShardMap {
+    pub fn new(grid: TileGrid, shards: u32) -> Self {
+        assert!((1..=64).contains(&shards), "1..=64 shards");
+        ShardMap { grid, shards }
+    }
+
+    pub fn grid(&self) -> &TileGrid {
+        &self.grid
+    }
+
+    pub fn shards(&self) -> u32 {
+        self.shards
+    }
+
+    /// The shard owning tile `(tx, ty)`.
+    pub fn shard_of_tile(&self, tx: u32, ty: u32) -> u32 {
+        self.grid.index(tx, ty) % self.shards
+    }
+
+    /// Bitmask of the shards owning any tile `r` covers (never empty: the
+    /// grid clamps, so every rectangle covers at least one tile).
+    pub fn owners(&self, r: &Rect) -> u64 {
+        let mut mask = 0u64;
+        for (tx, ty) in self.grid.cover(r) {
+            mask |= 1 << self.shard_of_tile(tx, ty);
+        }
+        mask
+    }
+
+    /// Whether shard `s` owns any tile `r` covers.
+    pub fn owns(&self, s: u32, r: &Rect) -> bool {
+        self.owners(r) & (1 << s) != 0
+    }
+
+    /// The lowest-numbered owning shard — the canonical home used to
+    /// route single-object work so it is answered exactly once.
+    pub fn first_owner(&self, r: &Rect) -> u32 {
+        self.owners(r).trailing_zeros()
+    }
+
+    /// Translates a shard-local node id into the cluster-global space.
+    pub fn to_global(&self, local: NodeId, shard: u32) -> NodeId {
+        let g = local.0 as u64 * self.shards as u64 + shard as u64;
+        debug_assert!(g < SUPER_ROOT.0 as u64, "node id space exhausted");
+        NodeId(g as u32)
+    }
+
+    /// Inverse of [`to_global`](Self::to_global): `(shard, local id)`.
+    pub fn to_local(&self, global: NodeId) -> (u32, NodeId) {
+        debug_assert!(global != SUPER_ROOT);
+        (global.0 % self.shards, NodeId(global.0 / self.shards))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Cluster state
+// ---------------------------------------------------------------------
+
+/// One published cluster epoch: the per-shard epoch vector and the shard
+/// root ids at publish time (for super-root change detection).
+#[derive(Clone, Debug)]
+struct EpochEntry {
+    epoch: u64,
+    shard_epochs: Vec<u64>,
+    roots: Vec<Option<NodeId>>,
+}
+
+#[derive(Debug, Default)]
+struct ClusterState {
+    /// Contiguous published epochs, oldest first (`history[e - front]`).
+    history: VecDeque<EpochEntry>,
+    /// Oldest cluster epoch the history can still expand into a vector.
+    low_water: u64,
+    /// Last cluster epoch each versioned client synced to — the floor
+    /// history pruning respects (bounded like the adaptive table).
+    clients: HashMap<ClientId, u64>,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    scatter_bytes: AtomicU64,
+    gather_bytes: AtomicU64,
+    sub_queries: AtomicU64,
+    duplicates_merged: AtomicU64,
+}
+
+/// Backplane accounting of the scatter-gather router (router ↔ shard
+/// traffic, *not* client-channel bytes — the client ledger only ever sees
+/// the merged reply).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ClusterStats {
+    /// Router → shard sub-query bytes ([`ShardSubRequest`]).
+    pub scatter_bytes: u64,
+    /// Shard → router partial-reply bytes ([`ShardSubReply`]).
+    pub gather_bytes: u64,
+    /// Sub-queries scattered (shards touched by remainder resumes).
+    pub sub_queries: u64,
+    /// Straddler duplicates dropped by the merge — objects returned by
+    /// more than one shard but charged to the client once.
+    pub duplicates_merged: u64,
+}
+
+/// A consistent cross-shard read: every pin's epoch matches the cluster
+/// epoch's recorded vector.
+struct PinSet {
+    pins: Vec<Arc<Snapshot>>,
+    epoch: u64,
+    vector: Vec<u64>,
+}
+
+/// The scatter-gather router over `N` spatial shards. Implements
+/// [`ServerHandle`], so fleets, sessions and benches drive it exactly like
+/// a single server.
+#[derive(Debug)]
+pub struct Cluster {
+    map: ShardMap,
+    shards: Vec<Server>,
+    cfg: ClusterConfig,
+    /// Serializes cluster update batches (per-shard publishes inside one
+    /// batch still run in parallel).
+    write: Mutex<()>,
+    state: Mutex<ClusterState>,
+    /// Current cluster epoch; stored *after* every shard of a batch has
+    /// published, so a pin taken at this epoch can reach the vector.
+    epoch: AtomicU64,
+    stats: Counters,
+}
+
+impl Cluster {
+    /// Partitions `store` across `cfg.shards` shards and bulk loads one
+    /// tree per shard over the objects it owns. Panics on an invalid
+    /// configuration ([`ClusterConfig::validate`]).
+    pub fn new(store: ObjectStore, tree_cfg: RTreeConfig, cfg: ClusterConfig) -> Self {
+        cfg.validate().expect("invalid ClusterConfig");
+        let map = ShardMap::new(TileGrid::new(cfg.grid_per_axis()), cfg.shards);
+        let shards: Vec<Server> = (0..cfg.shards)
+            .map(|s| {
+                let owned: Vec<SpatialObject> = store
+                    .iter_live()
+                    .filter(|o| map.owns(s, &o.mbr))
+                    .copied()
+                    .collect();
+                Server::from_core(
+                    ServerCore::build_with_objects(store.clone(), tree_cfg, &owned),
+                    cfg.server,
+                )
+            })
+            .collect();
+        let roots = shards
+            .iter()
+            .map(|sv| {
+                let snap = sv.core().pin();
+                snap.tree().root_mbr().map(|_| snap.tree().root())
+            })
+            .collect();
+        let mut history = VecDeque::new();
+        history.push_back(EpochEntry {
+            epoch: 0,
+            shard_epochs: vec![0; cfg.shards as usize],
+            roots,
+        });
+        Cluster {
+            map,
+            shards,
+            cfg,
+            write: Mutex::new(()),
+            state: Mutex::new(ClusterState {
+                history,
+                low_water: 0,
+                clients: HashMap::new(),
+            }),
+            epoch: AtomicU64::new(0),
+            stats: Counters::default(),
+        }
+    }
+
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    pub fn shard_map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    pub fn shard_count(&self) -> u32 {
+        self.cfg.shards
+    }
+
+    /// One shard's server (tests and diagnostics).
+    pub fn shard(&self, s: u32) -> &Server {
+        &self.shards[s as usize]
+    }
+
+    /// The current cluster epoch (bumped once per applied update batch).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Router backplane counters since construction.
+    pub fn stats(&self) -> ClusterStats {
+        ClusterStats {
+            scatter_bytes: self.stats.scatter_bytes.load(Ordering::Relaxed),
+            gather_bytes: self.stats.gather_bytes.load(Ordering::Relaxed),
+            sub_queries: self.stats.sub_queries.load(Ordering::Relaxed),
+            duplicates_merged: self.stats.duplicates_merged.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Clients with adaptive state (fmr reports broadcast to every shard,
+    /// so any shard's table reports the same census).
+    pub fn tracked_clients(&self) -> usize {
+        self.shards[0].tracked_clients()
+    }
+
+    // -----------------------------------------------------------------
+    // Consistent pinning
+    // -----------------------------------------------------------------
+
+    /// Pins every shard at the epochs the current cluster epoch recorded.
+    /// Optimistic: re-pins on a concurrent publish; falls back to briefly
+    /// excluding writers if churn outruns it.
+    fn pin_all(&self) -> PinSet {
+        for _ in 0..64 {
+            let epoch = self.epoch.load(Ordering::Acquire);
+            let vector = {
+                let state = self.state.lock().unwrap();
+                self.entry_at(&state, epoch).map(|e| e.shard_epochs.clone())
+            };
+            let Some(vector) = vector else { continue };
+            let pins: Vec<Arc<Snapshot>> = self.shards.iter().map(|sv| sv.core().pin()).collect();
+            let consistent = pins.iter().zip(&vector).all(|(p, &want)| p.epoch() == want)
+                && self.epoch.load(Ordering::Acquire) == epoch;
+            if consistent {
+                return PinSet {
+                    pins,
+                    epoch,
+                    vector,
+                };
+            }
+        }
+        // Writers are publishing faster than we can pin: take the writer
+        // lock for one consistent read.
+        let _writer = self.write.lock().unwrap();
+        let epoch = self.epoch.load(Ordering::Acquire);
+        let vector = {
+            let state = self.state.lock().unwrap();
+            self.entry_at(&state, epoch)
+                .expect("current epoch is always in history")
+                .shard_epochs
+                .clone()
+        };
+        let pins = self.shards.iter().map(|sv| sv.core().pin()).collect();
+        PinSet {
+            pins,
+            epoch,
+            vector,
+        }
+    }
+
+    /// The history entry of cluster epoch `e`, if it is still retained.
+    fn entry_at<'a>(&self, state: &'a ClusterState, e: u64) -> Option<&'a EpochEntry> {
+        let front = state.history.front()?.epoch;
+        if e < front {
+            return None;
+        }
+        state.history.get((e - front) as usize)
+    }
+
+    fn current_roots(pins: &[Arc<Snapshot>]) -> Vec<Option<NodeId>> {
+        pins.iter()
+            .map(|p| p.tree().root_mbr().map(|_| p.tree().root()))
+            .collect()
+    }
+
+    // -----------------------------------------------------------------
+    // Updates
+    // -----------------------------------------------------------------
+
+    /// Applies one update batch across the cluster: the global store is
+    /// updated once (same id assignment and liveness gating as a single
+    /// server), per-shard tree operations are derived from before/after
+    /// tile ownership — a `Move` across a tile boundary becomes
+    /// delete-here/insert-there in the same logical batch — and the
+    /// touched shards publish their next epochs **in parallel**.
+    /// Untouched shards only swap in the new store (no epoch bump), so
+    /// their clients stay fresh. Returns the new cluster epoch.
+    pub fn apply_updates(&self, updates: &[Update]) -> u64 {
+        let _writer = self.write.lock().unwrap();
+        let n = self.cfg.shards as usize;
+        let base = self.shards[0].core().pin();
+        let mut next_store = base.store().clone();
+
+        // Apply the batch to the store, remembering each object's state at
+        // batch start (first touch) — deletes against shard trees must use
+        // the MBR the tree actually indexed, not an intermediate one.
+        let mut touch_order: Vec<ObjectId> = Vec::new();
+        let mut touched: HashMap<ObjectId, ()> = HashMap::new();
+        let mut touch = |id: ObjectId, order: &mut Vec<ObjectId>| {
+            if touched.insert(id, ()).is_none() {
+                order.push(id);
+            }
+        };
+        for u in updates {
+            match *u {
+                Update::Insert { mbr, size_bytes } => {
+                    let id = next_store.push(mbr, size_bytes);
+                    touch(id, &mut touch_order);
+                }
+                Update::Delete(id) => {
+                    if next_store.try_get(id).is_some() && next_store.is_live(id) {
+                        next_store.mark_dead(id);
+                        touch(id, &mut touch_order);
+                    }
+                }
+                Update::Move { id, to } => {
+                    if next_store.try_get(id).is_some() && next_store.is_live(id) {
+                        next_store.set_mbr(id, to);
+                        touch(id, &mut touch_order);
+                    }
+                }
+            }
+        }
+
+        // Net per-shard ops from (batch-start, batch-end) ownership.
+        let mut ops: Vec<Vec<PartitionOp>> = vec![Vec::new(); n];
+        let mut tombs: Vec<Vec<ObjectId>> = vec![Vec::new(); n];
+        for &id in &touch_order {
+            let initial = base
+                .store()
+                .try_get(id)
+                .filter(|_| base.store().is_live(id))
+                .map(|o| o.mbr);
+            let live_after = next_store.is_live(id);
+            let final_mbr = next_store.get(id).mbr;
+            for s in 0..self.cfg.shards {
+                let before = initial.is_some_and(|m| self.map.owns(s, &m));
+                let after = live_after && self.map.owns(s, &final_mbr);
+                match (before, after) {
+                    (true, false) => {
+                        ops[s as usize].push(PartitionOp::Delete(id, initial.unwrap()));
+                    }
+                    (false, true) => ops[s as usize].push(PartitionOp::Insert(id)),
+                    (true, true) => {
+                        let from = initial.unwrap();
+                        if from != final_mbr {
+                            ops[s as usize].push(PartitionOp::Relocate(id, from));
+                        }
+                    }
+                    (false, false) => {}
+                }
+                if before && !live_after {
+                    tombs[s as usize].push(id);
+                }
+            }
+        }
+
+        // Publish: touched shards in parallel (each bumps its own epoch),
+        // untouched shards just sync the store so globally-assigned ids
+        // stay resolvable from any shard's pin.
+        std::thread::scope(|scope| {
+            for s in 0..n {
+                let shard = &self.shards[s];
+                let store = next_store.clone();
+                let ops = &ops[s];
+                let tombs = &tombs[s];
+                let max_history = self.cfg.server.max_update_history;
+                if ops.is_empty() && tombs.is_empty() {
+                    shard.core().refresh_store(store);
+                } else {
+                    scope.spawn(move || {
+                        shard.core().publish_partition(
+                            store,
+                            ops,
+                            tombs,
+                            shard.epoch_low_water(),
+                            max_history,
+                        );
+                    });
+                }
+            }
+        });
+
+        let shard_epochs: Vec<u64> = self.shards.iter().map(|sv| sv.core().epoch()).collect();
+        let roots = self
+            .shards
+            .iter()
+            .map(|sv| {
+                let snap = sv.core().pin();
+                snap.tree().root_mbr().map(|_| snap.tree().root())
+            })
+            .collect();
+
+        let mut state = self.state.lock().unwrap();
+        let epoch = self.epoch.load(Ordering::Acquire) + 1;
+        state.history.push_back(EpochEntry {
+            epoch,
+            shard_epochs,
+            roots,
+        });
+        let floor = state.clients.values().copied().min();
+        let horizon = floor
+            .unwrap_or(0)
+            .max(epoch.saturating_sub(self.cfg.server.max_update_history));
+        while state
+            .history
+            .front()
+            .is_some_and(|front| front.epoch < horizon)
+        {
+            state.history.pop_front();
+        }
+        state.low_water = state.low_water.max(horizon);
+        drop(state);
+        self.epoch.store(epoch, Ordering::Release);
+        epoch
+    }
+
+    /// Records `client`'s sync point (cluster epoch) for history pruning,
+    /// evicting the most-behind entry past the tracked-client cap.
+    fn note_client(&self, client: ClientId, epoch: u64) {
+        let mut state = self.state.lock().unwrap();
+        if !state.clients.contains_key(&client)
+            && state.clients.len() >= self.cfg.server.max_tracked_clients
+        {
+            if let Some((&evict, _)) = state.clients.iter().min_by_key(|(_, &e)| e) {
+                state.clients.remove(&evict);
+            }
+        }
+        state.clients.insert(client, epoch);
+    }
+
+    // -----------------------------------------------------------------
+    // Queries: scatter / gather / merge
+    // -----------------------------------------------------------------
+
+    /// Answers a plain (unversioned) remainder query by scatter-gather.
+    pub fn process_remainder(&self, client: ClientId, rq: &RemainderQuery) -> ServerReply {
+        let set = self.pin_all();
+        let layout = SuperLayout::build(&set.pins);
+        self.scatter_remainder(client, rq, &set, &layout)
+    }
+
+    /// The versioned contact: the client's scalar cluster epoch is
+    /// re-expanded into the per-shard epoch vector it was synced at
+    /// (via the epoch history), and staleness is decided **per shard** —
+    /// only changes in shards the query could touch force a `Stale`
+    /// round-trip, while changes elsewhere ride along as invalidations on
+    /// a `Fresh` reply.
+    pub fn process_remainder_versioned(
+        &self,
+        client: ClientId,
+        rq: &RemainderQuery,
+        client_epoch: u64,
+    ) -> VersionedReply {
+        let set = self.pin_all();
+        let n = self.cfg.shards as usize;
+        for (shard, &e) in self.shards.iter().zip(&set.vector) {
+            shard.note_client_epoch(client, e);
+        }
+        self.note_client(client, set.epoch);
+
+        let entry = {
+            let state = self.state.lock().unwrap();
+            if client_epoch < state.low_water {
+                None
+            } else {
+                self.entry_at(&state, client_epoch).cloned()
+            }
+        };
+        let Some(entry) = entry else {
+            return VersionedReply::FullRefresh { epoch: set.epoch };
+        };
+
+        // Per-shard deltas since the client's synced vector.
+        let mut changed: Vec<Vec<NodeId>> = Vec::with_capacity(n);
+        for (pin, &since) in set.pins.iter().zip(&entry.shard_epochs) {
+            if !pin.update_log().can_answer(since) {
+                return VersionedReply::FullRefresh { epoch: set.epoch };
+            }
+            changed.push(pin.update_log().changed_since(since));
+        }
+
+        // Did the super-root layout change? Either a shard root id moved,
+        // or a current root node is itself in its shard's changed set (its
+        // MBR may have moved, re-shaping the layout BPT).
+        let current_roots = Self::current_roots(&set.pins);
+        let super_changed = entry.roots != current_roots
+            || current_roots
+                .iter()
+                .zip(&changed)
+                .any(|(root, ch)| root.is_some_and(|r| ch.contains(&r)));
+
+        let mut invalidate: Vec<NodeId> = Vec::new();
+        let mut changed_mask = 0u64;
+        for (s, ch) in changed.iter().enumerate() {
+            if !ch.is_empty() {
+                changed_mask |= 1 << s;
+            }
+            invalidate.extend(ch.iter().map(|&nid| self.map.to_global(nid, s as u32)));
+        }
+        if super_changed {
+            invalidate.push(SUPER_ROOT);
+        }
+        invalidate.sort();
+
+        // Shards this query could touch. A range query is covered by the
+        // owners of its window tiles plus whatever its heap references
+        // (straddler replication makes the window owners sufficient for
+        // the result set); kNN and join have unbounded reach.
+        let mut covered = match rq.spec {
+            QuerySpec::Range { window } => self.map.owners(&window),
+            _ => u64::MAX >> (64 - n),
+        };
+        let mut mentions_super = false;
+        let mut note_side = |side: &Side| match *side {
+            Side::Cell { cell, .. } => {
+                if cell.node == SUPER_ROOT {
+                    mentions_super = true;
+                } else {
+                    covered |= 1 << self.map.to_local(cell.node).0;
+                }
+            }
+            // Every owner, not just the canonical one: a straddler's cell
+            // may sit in the client's cache under *any* replica owner's
+            // view, and that view must not be invalidated out from under
+            // the heap by a Fresh reply.
+            Side::Obj { ref mbr, .. } => covered |= self.map.owners(mbr),
+        };
+        for (_, entry) in &rq.heap {
+            match entry {
+                HeapEntry::Single(side) => note_side(side),
+                HeapEntry::Pair(a, b) => {
+                    note_side(a);
+                    note_side(b);
+                }
+            }
+        }
+
+        if changed_mask & covered != 0 || (super_changed && mentions_super) {
+            return VersionedReply::Stale {
+                invalidate,
+                epoch: set.epoch,
+            };
+        }
+        let layout = SuperLayout::build(&set.pins);
+        VersionedReply::Fresh {
+            reply: self.scatter_remainder(client, rq, &set, &layout),
+            invalidate,
+            epoch: set.epoch,
+        }
+    }
+
+    /// Ground-truth query against the merged current snapshot set.
+    pub fn direct(&self, spec: &QuerySpec) -> DirectReply {
+        let set = self.pin_all();
+        match *spec {
+            QuerySpec::Range { window } => {
+                let owners = self.map.owners(&window);
+                let mut ids: Vec<ObjectId> = Vec::new();
+                let mut expansions = 0;
+                for (s, pin) in set.pins.iter().enumerate() {
+                    if owners & (1 << s) == 0 {
+                        continue;
+                    }
+                    let out = pin.direct(spec);
+                    expansions += out.expansions;
+                    ids.extend(out.results.iter().map(|&(id, _)| id));
+                }
+                ids.sort();
+                ids.dedup();
+                DirectReply {
+                    results: ids,
+                    pairs: Vec::new(),
+                    expansions,
+                }
+            }
+            QuerySpec::Knn { k, .. } => {
+                let mut cands: Vec<(f64, ObjectId)> = Vec::new();
+                let mut expansions = 0;
+                for pin in &set.pins {
+                    let out = pin.direct(spec);
+                    expansions += out.expansions;
+                    for &(id, _) in &out.results {
+                        cands.push((spec.key_for(&pin.store().get(id).mbr), id));
+                    }
+                }
+                cands.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+                // Same id ⇒ same MBR ⇒ same key: duplicates are adjacent.
+                cands.dedup_by_key(|c| c.1);
+                cands.truncate(k as usize);
+                DirectReply {
+                    results: cands.into_iter().map(|(_, id)| id).collect(),
+                    pairs: Vec::new(),
+                    expansions,
+                }
+            }
+            QuerySpec::Join { .. } => {
+                let layout = SuperLayout::build(&set.pins);
+                let view = ClusterView {
+                    map: &self.map,
+                    pins: &set.pins,
+                    layout: &layout,
+                };
+                let out = execute(&view, spec, &mut NoopTracer);
+                let mut pairs = out.result_pairs;
+                for p in &mut pairs {
+                    if p.0 > p.1 {
+                        *p = (p.1, p.0);
+                    }
+                }
+                pairs.sort();
+                pairs.dedup();
+                let mut ids: Vec<ObjectId> = out.results.iter().map(|&(id, _)| id).collect();
+                ids.sort();
+                ids.dedup();
+                DirectReply {
+                    results: ids,
+                    pairs,
+                    expansions: out.expansions,
+                }
+            }
+        }
+    }
+
+    /// Decomposes one client-held super-root cell into the shard roots
+    /// under it, pushing each qualifying shard root into that shard's
+    /// sub-heap. Returns the router-side cell expansions performed.
+    fn decompose_super(
+        &self,
+        layout: &SuperLayout,
+        set: &PinSet,
+        code: Code,
+        spec: &QuerySpec,
+        sub: &mut [Vec<(f64, HeapEntry)>],
+    ) -> u64 {
+        let mut expansions = 0;
+        let mut stack = vec![code];
+        while let Some(c) = stack.pop() {
+            if let Some(children) = layout.bpt.children(c) {
+                expansions += 1;
+                for (cc, cell) in children {
+                    if spec.qualifies(&cell.mbr) {
+                        stack.push(cc);
+                    }
+                }
+            } else if let Some(cell) = layout.bpt.find(c) {
+                if let BptCellKind::Leaf { entry_idx } = cell.kind {
+                    let s = layout.members[entry_idx as usize];
+                    let tree = set.pins[s as usize].tree();
+                    sub[s as usize].push((
+                        spec.key_for(&cell.mbr),
+                        HeapEntry::Single(Side::Cell {
+                            cell: CellRef::node_root(tree.root()),
+                            mbr: cell.mbr,
+                        }),
+                    ));
+                }
+            } else {
+                debug_assert!(false, "invalid super-root cell in a remainder heap");
+            }
+        }
+        expansions
+    }
+
+    /// Routes a join frontier pair to a single shard when both sides live
+    /// there (objects are wildcards: an authoritative resume confirms them
+    /// without a tree lookup). Cross-shard or super-rooted pairs return
+    /// `None` and resume router-side over the merged view.
+    fn route_pair(&self, a: Side, b: Side) -> Option<(u32, Side, Side)> {
+        let is_super =
+            |side: &Side| matches!(side, Side::Cell { cell, .. } if cell.node == SUPER_ROOT);
+        if is_super(&a) || is_super(&b) {
+            return None;
+        }
+        let shard_of = |side: &Side| match side {
+            Side::Cell { cell, .. } => Some(self.map.to_local(cell.node).0),
+            Side::Obj { .. } => None,
+        };
+        let localize = |side: Side| match side {
+            Side::Cell { cell, mbr } => Side::Cell {
+                cell: CellRef {
+                    node: self.map.to_local(cell.node).1,
+                    code: cell.code,
+                },
+                mbr,
+            },
+            obj => obj,
+        };
+        match (shard_of(&a), shard_of(&b)) {
+            (Some(x), Some(y)) if x == y => Some((x, localize(a), localize(b))),
+            (Some(x), None) => Some((x, localize(a), b)),
+            (None, Some(y)) => Some((y, a, localize(b))),
+            (None, None) => Some((self.map.first_owner(&a.mbr()), a, b)),
+            (Some(_), Some(_)) => None,
+        }
+    }
+
+    /// Rewrites one shard's shipment into the cluster-global node-id
+    /// space so a single client cache can hold slices of every shard.
+    fn translate_shipment(&self, sh: NodeShipment, s: u32) -> NodeShipment {
+        NodeShipment {
+            node: self.map.to_global(sh.node, s),
+            level: sh.level,
+            parent: sh.parent.map(|p| self.map.to_global(p, s)),
+            cells: sh
+                .cells
+                .into_iter()
+                .map(|c| CellRecord {
+                    code: c.code,
+                    mbr: c.mbr,
+                    kind: match c.kind {
+                        CellKind::Node(nid) => CellKind::Node(self.map.to_global(nid, s)),
+                        other => other,
+                    },
+                })
+                .collect(),
+        }
+    }
+
+    /// The scatter-gather core: decompose the heap by ownership, resume
+    /// each sub-query against its shard's pinned snapshot, resume genuinely
+    /// cross-shard work over the merged view, then merge the partial
+    /// replies — deduplicating boundary straddlers so each object is
+    /// wire-charged exactly once.
+    fn scatter_remainder(
+        &self,
+        client: ClientId,
+        rq: &RemainderQuery,
+        set: &PinSet,
+        layout: &SuperLayout,
+    ) -> ServerReply {
+        let n = self.cfg.shards as usize;
+        let mut sub: Vec<Vec<(f64, HeapEntry)>> = vec![Vec::new(); n];
+        let mut leftover: Vec<(f64, HeapEntry)> = Vec::new();
+        let mut super_ship = false;
+        let mut expansions = 0u64;
+
+        for &(key, entry) in &rq.heap {
+            match entry {
+                HeapEntry::Single(Side::Obj { mbr, .. }) => {
+                    sub[self.map.first_owner(&mbr) as usize].push((key, entry));
+                }
+                HeapEntry::Single(Side::Cell { cell, mbr }) => {
+                    if cell.node == SUPER_ROOT {
+                        super_ship = true;
+                        expansions +=
+                            self.decompose_super(layout, set, cell.code, &rq.spec, &mut sub);
+                    } else {
+                        let (s, local) = self.map.to_local(cell.node);
+                        sub[s as usize].push((
+                            key,
+                            HeapEntry::Single(Side::Cell {
+                                cell: CellRef {
+                                    node: local,
+                                    code: cell.code,
+                                },
+                                mbr,
+                            }),
+                        ));
+                    }
+                }
+                HeapEntry::Pair(a, b) => match self.route_pair(a, b) {
+                    Some((s, la, lb)) => sub[s as usize].push((key, HeapEntry::Pair(la, lb))),
+                    None => leftover.push((key, entry)),
+                },
+            }
+        }
+
+        // Scatter: per-shard authoritative resumes.
+        let mut outcomes: Vec<Option<Outcome>> = (0..n).map(|_| None).collect();
+        let mut logs: Vec<AccessLog> = (0..n).map(|_| AccessLog::default()).collect();
+        for (s, heap) in sub.into_iter().enumerate() {
+            if heap.is_empty() {
+                continue;
+            }
+            let req = ShardSubRequest {
+                shard: s as u32,
+                query: RemainderQuery {
+                    spec: rq.spec,
+                    already_found: rq.already_found,
+                    heap,
+                },
+            };
+            self.stats
+                .scatter_bytes
+                .fetch_add(req.wire_bytes(), Ordering::Relaxed);
+            self.stats.sub_queries.fetch_add(1, Ordering::Relaxed);
+            let snap = &set.pins[s];
+            let view = FullView::new(snap.tree(), snap.bpts());
+            let out = resume(&view, &req.query, &mut logs[s]);
+            debug_assert!(
+                out.remainder.is_none(),
+                "authoritative resume never leaves a remainder"
+            );
+            outcomes[s] = Some(out);
+        }
+
+        // Cross-shard leftovers (join pairs spanning shards) resume over
+        // the merged view; their node accesses fold back into the owning
+        // shards' logs so shipments are built once per shard.
+        let mut leftover_outcome: Option<Outcome> = None;
+        if !leftover.is_empty() {
+            let view = ClusterView {
+                map: &self.map,
+                pins: &set.pins,
+                layout,
+            };
+            let mut log = AccessLog::default();
+            let out = resume(
+                &view,
+                &RemainderQuery {
+                    spec: rq.spec,
+                    already_found: rq.already_found,
+                    heap: leftover,
+                },
+                &mut log,
+            );
+            for (gnode, acc) in log.nodes {
+                if gnode == SUPER_ROOT {
+                    super_ship |= acc.any_expansion;
+                    continue;
+                }
+                let (s, local) = self.map.to_local(gnode);
+                let slot = logs[s as usize].nodes.entry(local).or_default();
+                slot.touched.extend(acc.touched);
+                slot.expanded_internal.extend(acc.expanded_internal);
+                slot.any_expansion |= acc.any_expansion;
+            }
+            leftover_outcome = Some(out);
+        }
+
+        // Gather: per-shard partial replies, charged on the backplane.
+        let mut index: Vec<NodeShipment> = Vec::new();
+        if super_ship {
+            index.push(layout.shipment(&self.map, &set.pins));
+        }
+        let mut all: Vec<(Option<u32>, Outcome)> = Vec::new();
+        for (s, (out, log)) in outcomes.into_iter().zip(logs).enumerate() {
+            let Some(out) = out.or_else(|| (!log.nodes.is_empty()).then(Outcome::default)) else {
+                continue;
+            };
+            let snap = &set.pins[s];
+            let shipments: Vec<NodeShipment> = build_shipments(
+                &log,
+                snap.tree(),
+                snap.bpts(),
+                self.shards[s].remainder_mode(client),
+            )
+            .into_iter()
+            .map(|sh| self.translate_shipment(sh, s as u32))
+            .collect();
+            let sub_reply = ShardSubReply {
+                shard: s as u32,
+                epochs: EpochVector {
+                    epochs: set.vector.clone(),
+                },
+                reply: ServerReply {
+                    confirmed: out
+                        .results
+                        .iter()
+                        .filter(|&&(_, c)| c)
+                        .map(|&(id, _)| id)
+                        .collect(),
+                    objects: out
+                        .results
+                        .iter()
+                        .filter(|&&(_, c)| !c)
+                        .map(|&(id, _)| *snap.store().get(id))
+                        .collect(),
+                    pairs: out.result_pairs.clone(),
+                    index: shipments,
+                    expansions: out.expansions,
+                },
+            };
+            self.stats
+                .gather_bytes
+                .fetch_add(sub_reply.wire_bytes(), Ordering::Relaxed);
+            index.extend(sub_reply.reply.index);
+            expansions += out.expansions;
+            all.push((Some(s as u32), out));
+        }
+        if let Some(out) = leftover_outcome {
+            expansions += out.expansions;
+            all.push((None, out));
+        }
+
+        // Merge: each object appears (and is charged) exactly once, even
+        // when several shards returned a boundary straddler.
+        let mut seen: HashMap<ObjectId, usize> = HashMap::new();
+        let mut cands: Vec<(SpatialObject, bool)> = Vec::new();
+        let mut dups = 0u64;
+        for (src, out) in &all {
+            for &(id, cached) in &out.results {
+                // An owning shard's pinned store is exact for its objects;
+                // router leftovers read shard 0's store (same batch, the
+                // MBR vintage can lag one refresh — ids and sizes cannot).
+                let store = match src {
+                    Some(s) => set.pins[*s as usize].store(),
+                    None => set.pins[0].store(),
+                };
+                match seen.entry(id) {
+                    std::collections::hash_map::Entry::Vacant(v) => {
+                        v.insert(cands.len());
+                        cands.push((*store.get(id), cached));
+                    }
+                    std::collections::hash_map::Entry::Occupied(o) => {
+                        dups += 1;
+                        cands[*o.get()].1 |= cached;
+                    }
+                }
+            }
+        }
+        if dups > 0 {
+            self.stats
+                .duplicates_merged
+                .fetch_add(dups, Ordering::Relaxed);
+        }
+
+        let mut pairs: Vec<(ObjectId, ObjectId)> = all
+            .iter()
+            .flat_map(|(_, o)| o.result_pairs.iter().copied())
+            .collect();
+        match rq.spec {
+            QuerySpec::Knn { k, .. } => {
+                let budget = k.saturating_sub(rq.already_found) as usize;
+                cands.sort_by(|a, b| {
+                    let ka = rq.spec.key_for(&a.0.mbr);
+                    let kb = rq.spec.key_for(&b.0.mbr);
+                    ka.partial_cmp(&kb).unwrap().then(a.0.id.cmp(&b.0.id))
+                });
+                cands.truncate(budget);
+            }
+            QuerySpec::Join { .. } => {
+                for p in &mut pairs {
+                    if p.0 > p.1 {
+                        *p = (p.1, p.0);
+                    }
+                }
+                pairs.sort();
+                pairs.dedup();
+                cands.sort_by_key(|c| c.0.id);
+            }
+            QuerySpec::Range { .. } => {}
+        }
+
+        ServerReply {
+            confirmed: cands.iter().filter(|c| c.1).map(|c| c.0.id).collect(),
+            objects: cands.iter().filter(|c| !c.1).map(|c| c.0).collect(),
+            pairs,
+            index,
+            expansions,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Super-root layout + merged view
+// ---------------------------------------------------------------------
+
+/// The synthetic top of the merged index for one consistent pin set: a
+/// BPT over the non-empty shard roots' MBRs, shipped to clients as the
+/// [`SUPER_ROOT`] node in full form.
+struct SuperLayout {
+    /// Non-empty shard indices, in shard order (= layout entry order).
+    members: Vec<u32>,
+    bpt: Bpt,
+    /// One above the tallest shard root.
+    level: u16,
+}
+
+impl SuperLayout {
+    fn build(pins: &[Arc<Snapshot>]) -> SuperLayout {
+        let mut members = Vec::new();
+        let mut mbrs = Vec::new();
+        let mut level = 0u16;
+        for (s, pin) in pins.iter().enumerate() {
+            if pin.tree().root_mbr().is_some() {
+                members.push(s as u32);
+                mbrs.push(pin.tree().root_mbr().unwrap());
+                let root = pin.tree().root();
+                level = level.max(pin.tree().node(root).level + 1);
+            }
+        }
+        SuperLayout {
+            members,
+            bpt: Bpt::build(&mbrs),
+            level,
+        }
+    }
+
+    /// The full-form shipment of the super-root node.
+    fn shipment(&self, map: &ShardMap, pins: &[Arc<Snapshot>]) -> NodeShipment {
+        let cells = self
+            .bpt
+            .leaf_cells()
+            .into_iter()
+            .map(|(code, cell)| {
+                let BptCellKind::Leaf { entry_idx } = cell.kind else {
+                    unreachable!("leaf_cells returns leaves");
+                };
+                let s = self.members[entry_idx as usize];
+                let root = pins[s as usize].tree().root();
+                CellRecord {
+                    code,
+                    mbr: cell.mbr,
+                    kind: CellKind::Node(map.to_global(root, s)),
+                }
+            })
+            .collect();
+        NodeShipment {
+            node: SUPER_ROOT,
+            level: self.level,
+            parent: None,
+            cells,
+        }
+    }
+}
+
+/// The authoritative [`IndexView`] over the whole cluster: the super-root
+/// expands through the layout BPT into translated shard roots, and every
+/// other node delegates to its shard's pinned tree with ids translated on
+/// the way out. Used for cross-shard join resumes and direct ground truth.
+struct ClusterView<'a> {
+    map: &'a ShardMap,
+    pins: &'a [Arc<Snapshot>],
+    layout: &'a SuperLayout,
+}
+
+impl IndexView for ClusterView<'_> {
+    fn root(&self) -> Option<(Rect, CellRef)> {
+        let mut mbr: Option<Rect> = None;
+        for &m in &self.layout.members {
+            let r = self.pins[m as usize].tree().root_mbr().unwrap();
+            mbr = Some(match mbr {
+                Some(u) => u.union(&r),
+                None => r,
+            });
+        }
+        mbr.map(|m| {
+            (
+                m,
+                CellRef {
+                    node: SUPER_ROOT,
+                    code: Code::ROOT,
+                },
+            )
+        })
+    }
+
+    fn expand(&self, cell: CellRef) -> Expansion {
+        if cell.node == SUPER_ROOT {
+            if let Some(children) = self.layout.bpt.children(cell.code) {
+                return Expansion::Children(
+                    children
+                        .iter()
+                        .map(|(code, c)| CellChild {
+                            mbr: c.mbr,
+                            target: Target::Cell(CellRef {
+                                node: SUPER_ROOT,
+                                code: *code,
+                            }),
+                        })
+                        .collect(),
+                );
+            }
+            if let Some(c) = self.layout.bpt.find(cell.code) {
+                if let BptCellKind::Leaf { entry_idx } = c.kind {
+                    let s = self.layout.members[entry_idx as usize];
+                    let tree = self.pins[s as usize].tree();
+                    return Expansion::Children(vec![CellChild {
+                        mbr: c.mbr,
+                        target: Target::Cell(CellRef::node_root(
+                            self.map.to_global(tree.root(), s),
+                        )),
+                    }]);
+                }
+            }
+            debug_assert!(false, "invalid super cell {cell} on the merged view");
+            return Expansion::Missing;
+        }
+
+        let (s, local) = self.map.to_local(cell.node);
+        let snap = &self.pins[s as usize];
+        let bpt = snap.bpts().get(local);
+        if bpt.is_empty() {
+            return Expansion::Children(Vec::new());
+        }
+        if let Some(children) = bpt.children(cell.code) {
+            return Expansion::Children(
+                children
+                    .iter()
+                    .map(|(code, c)| CellChild {
+                        mbr: c.mbr,
+                        target: Target::Cell(CellRef {
+                            node: cell.node,
+                            code: *code,
+                        }),
+                    })
+                    .collect(),
+            );
+        }
+        match bpt.find(cell.code) {
+            Some(c) => match c.kind {
+                BptCellKind::Leaf { entry_idx } => {
+                    let entry = &snap.tree().node(local).entries[entry_idx as usize];
+                    let child = match entry.child {
+                        pc_rtree::ChildRef::Node(n) => CellChild {
+                            mbr: entry.mbr,
+                            target: Target::Cell(CellRef::node_root(self.map.to_global(n, s))),
+                        },
+                        pc_rtree::ChildRef::Object(o) => CellChild {
+                            mbr: entry.mbr,
+                            target: Target::Object {
+                                id: o,
+                                cached: false,
+                            },
+                        },
+                    };
+                    Expansion::Children(vec![child])
+                }
+                BptCellKind::Internal { .. } => unreachable!("children() covered internals"),
+            },
+            None => {
+                debug_assert!(false, "invalid cell {cell} on the merged view");
+                Expansion::Missing
+            }
+        }
+    }
+
+    fn authoritative(&self) -> bool {
+        true
+    }
+}
+
+// ---------------------------------------------------------------------
+// Transport / handle plumbing
+// ---------------------------------------------------------------------
+
+impl Transport for Cluster {
+    fn call(&self, client: ClientId, req: Request) -> Response {
+        match req {
+            Request::Remainder(rq) => Response::Remainder(self.process_remainder(client, &rq)),
+            Request::RemainderVersioned { query, epoch } => {
+                Response::Versioned(self.process_remainder_versioned(client, &query, epoch))
+            }
+            Request::Direct(spec) => Response::Direct(self.direct(&spec)),
+            Request::ReportFmr { fmr } => {
+                // Broadcast so every shard's adaptive trajectory for this
+                // client stays aligned (they all see the same fmr stream
+                // and hence agree on d).
+                let mut d = 0;
+                for shard in &self.shards {
+                    d = shard.report_fmr(client, fmr);
+                }
+                Response::NewD(d)
+            }
+            Request::Forget => {
+                let mut any = false;
+                for shard in &self.shards {
+                    any |= shard.forget_client(client);
+                }
+                self.state.lock().unwrap().clients.remove(&client);
+                Response::Forgotten(any)
+            }
+        }
+    }
+}
+
+impl ServerHandle for Cluster {
+    fn core(&self) -> &ServerCore {
+        // Shard 0's core: its store is the shared global store (every
+        // batch syncs it to all shards), which is what metadata readers
+        // want. Its *tree* is only shard 0's slice — navigation must go
+        // through `bootstrap_root` + the protocol instead.
+        self.shards[0].core()
+    }
+
+    fn apply_updates(&self, updates: &[Update]) -> u64 {
+        Cluster::apply_updates(self, updates)
+    }
+
+    fn bootstrap_root(&self) -> (Option<(NodeId, Rect)>, u64) {
+        let set = self.pin_all();
+        let layout = SuperLayout::build(&set.pins);
+        let view = ClusterView {
+            map: &self.map,
+            pins: &set.pins,
+            layout: &layout,
+        };
+        let root = view.root().map(|(mbr, cell)| (cell.node, mbr));
+        (root, set.epoch)
+    }
+
+    fn log_records(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.core().pin().update_log().retained_records())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pc_geom::Point;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn sample_store(n: usize, seed: u64) -> ObjectStore {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        ObjectStore::new(
+            (0..n)
+                .map(|i| SpatialObject {
+                    id: ObjectId(i as u32),
+                    mbr: Rect::from_point(Point::new(
+                        rng.random_range(0.0..1.0),
+                        rng.random_range(0.0..1.0),
+                    )),
+                    size_bytes: rng.random_range(100..2000),
+                })
+                .collect(),
+        )
+    }
+
+    fn quad_cluster(store: ObjectStore) -> Cluster {
+        Cluster::new(
+            store,
+            RTreeConfig::small(),
+            ClusterConfig {
+                shards: 4,
+                grid: 2,
+                server: ServerConfig::default(),
+            },
+        )
+    }
+
+    fn cold_remainder(cl: &Cluster, spec: QuerySpec) -> RemainderQuery {
+        let (root, _) = cl.bootstrap_root();
+        let (node, mbr) = root.expect("non-empty cluster");
+        let side = Side::Cell {
+            cell: CellRef::node_root(node),
+            mbr,
+        };
+        let entry = if spec.is_join() {
+            HeapEntry::Pair(side, side)
+        } else {
+            HeapEntry::Single(side)
+        };
+        RemainderQuery {
+            spec,
+            already_found: 0,
+            heap: vec![(spec.key_for(&mbr), entry)],
+        }
+    }
+
+    fn reply_ids(reply: &ServerReply) -> Vec<ObjectId> {
+        let mut ids: Vec<ObjectId> = reply
+            .confirmed
+            .iter()
+            .copied()
+            .chain(reply.objects.iter().map(|o| o.id))
+            .collect();
+        ids.sort();
+        ids
+    }
+
+    #[test]
+    fn config_validation_rejects_degenerate_clusters() {
+        assert!(ClusterConfig::new(4).validate().is_ok());
+        let err = ClusterConfig::new(0).validate().unwrap_err();
+        assert!(err.contains("zero-shard"), "unhelpful error: {err}");
+        assert!(ClusterConfig::new(65)
+            .validate()
+            .unwrap_err()
+            .contains("64"));
+        let cramped = ClusterConfig {
+            shards: 16,
+            grid: 2,
+            server: ServerConfig::default(),
+        };
+        assert!(cramped.validate().unwrap_err().contains("fewer tiles"));
+        let bad_server = ClusterConfig {
+            server: ServerConfig {
+                max_update_history: 0,
+                ..Default::default()
+            },
+            ..ClusterConfig::new(2)
+        };
+        assert!(bad_server
+            .validate()
+            .unwrap_err()
+            .contains("max_update_history"));
+    }
+
+    #[test]
+    fn tile_ownership_replicates_straddlers() {
+        let map = ShardMap::new(TileGrid::new(2), 4);
+        // Four tiles, four shards: a bijection.
+        let mut owners: Vec<u32> = (0..2)
+            .flat_map(|ty| (0..2).map(move |tx| map.shard_of_tile(tx, ty)))
+            .collect();
+        owners.sort();
+        assert_eq!(owners, vec![0, 1, 2, 3]);
+        // A rect over the centre corner belongs to all four shards.
+        let straddler = Rect::centered_square(Point::new(0.5, 0.5), 0.1);
+        assert_eq!(map.owners(&straddler), 0b1111);
+        // A rect inside one quadrant belongs to exactly one.
+        let inner = Rect::centered_square(Point::new(0.25, 0.25), 0.05);
+        assert_eq!(map.owners(&inner).count_ones(), 1);
+    }
+
+    #[test]
+    fn node_id_translation_round_trips() {
+        let map = ShardMap::new(TileGrid::new(3), 5);
+        for shard in 0..5 {
+            for local in [0u32, 1, 17, 9000] {
+                let g = map.to_global(NodeId(local), shard);
+                assert_ne!(g, SUPER_ROOT);
+                assert_eq!(map.to_local(g), (shard, NodeId(local)));
+            }
+        }
+    }
+
+    #[test]
+    fn cluster_answers_match_a_single_server() {
+        let store = sample_store(300, 7);
+        let single = Server::new(store.clone(), RTreeConfig::small(), ServerConfig::default());
+        let cl = quad_cluster(store);
+
+        for spec in [
+            QuerySpec::Range {
+                window: Rect::centered_square(Point::new(0.5, 0.5), 0.3),
+            },
+            QuerySpec::Knn {
+                center: Point::new(0.42, 0.61),
+                k: 9,
+            },
+            QuerySpec::Join { dist: 0.015 },
+        ] {
+            // Direct ground truth.
+            let a = cl.direct(&spec);
+            let b = single.direct(&spec);
+            let mut b_ids: Vec<ObjectId> = b.results.iter().map(|&(id, _)| id).collect();
+            b_ids.sort();
+            b_ids.dedup();
+            let mut a_ids = a.results.clone();
+            a_ids.sort();
+            if let QuerySpec::Knn { center, .. } = spec {
+                // kNN ties may resolve to different ids; compare distances.
+                let key = |id: ObjectId| {
+                    let mbr = cl.core().pin().store().get(id).mbr;
+                    format!("{:.12}", mbr.min_dist(&center))
+                };
+                let mut ak: Vec<String> = a_ids.iter().map(|&i| key(i)).collect();
+                let mut bk: Vec<String> = b_ids.iter().map(|&i| key(i)).collect();
+                ak.sort();
+                bk.sort();
+                assert_eq!(ak, bk, "knn distance multiset diverged");
+            } else {
+                assert_eq!(a_ids, b_ids, "direct results diverged for {spec:?}");
+            }
+            let mut a_pairs = a.pairs.clone();
+            let mut b_pairs: Vec<(ObjectId, ObjectId)> = b
+                .result_pairs
+                .iter()
+                .map(|&(x, y)| if x <= y { (x, y) } else { (y, x) })
+                .collect();
+            a_pairs.sort();
+            b_pairs.sort();
+            b_pairs.dedup();
+            assert_eq!(a_pairs, b_pairs, "join pairs diverged");
+
+            // Cold-cache remainder through the scatter-gather path.
+            if !spec.is_join() {
+                let reply = cl.process_remainder(1, &cold_remainder(&cl, spec));
+                let direct_ids = a.results.clone();
+                let mut got = reply_ids(&reply);
+                if let QuerySpec::Knn { center, .. } = spec {
+                    let key = |id: ObjectId| {
+                        let mbr = cl.core().pin().store().get(id).mbr;
+                        format!("{:.12}", mbr.min_dist(&center))
+                    };
+                    let mut gk: Vec<String> = got.iter().map(|&i| key(i)).collect();
+                    let mut dk: Vec<String> = direct_ids.iter().map(|&i| key(i)).collect();
+                    gk.sort();
+                    dk.sort();
+                    assert_eq!(gk, dk, "remainder knn diverged from ground truth");
+                } else {
+                    let mut want = direct_ids;
+                    want.sort();
+                    got.dedup();
+                    assert_eq!(got, want, "remainder range diverged from ground truth");
+                }
+            }
+        }
+    }
+
+    /// The wire-accounting regression from the issue: an object whose MBR
+    /// covers a 4-tile corner is found by all four shards but must appear
+    /// — and be byte-charged — exactly once in the merged reply.
+    #[test]
+    fn corner_straddler_is_charged_once() {
+        let mut objects = vec![SpatialObject {
+            id: ObjectId(0),
+            mbr: Rect::centered_square(Point::new(0.5, 0.5), 0.08),
+            size_bytes: 1000,
+        }];
+        // A few plain objects per quadrant so every shard has a real tree.
+        let mut rng = SmallRng::seed_from_u64(11);
+        for i in 1..40u32 {
+            objects.push(SpatialObject {
+                id: ObjectId(i),
+                mbr: Rect::from_point(Point::new(
+                    rng.random_range(0.0..1.0),
+                    rng.random_range(0.0..1.0),
+                )),
+                size_bytes: 500,
+            });
+        }
+        let cl = quad_cluster(ObjectStore::new(objects));
+        // The straddler is replicated into every shard's tree...
+        assert_eq!(
+            cl.shard_map()
+                .owners(&Rect::centered_square(Point::new(0.5, 0.5), 0.08)),
+            0b1111
+        );
+
+        let spec = QuerySpec::Range {
+            window: Rect::centered_square(Point::new(0.5, 0.5), 0.2),
+        };
+        let reply = cl.process_remainder(1, &cold_remainder(&cl, spec));
+        // ...but the merged reply carries it exactly once.
+        let hits = reply.objects.iter().filter(|o| o.id == ObjectId(0)).count()
+            + reply
+                .confirmed
+                .iter()
+                .filter(|&&id| id == ObjectId(0))
+                .count();
+        assert_eq!(hits, 1, "straddler must be merged to a single copy");
+        let ids = reply_ids(&reply);
+        let mut deduped = ids.clone();
+        deduped.dedup();
+        assert_eq!(ids, deduped, "no object may be charged twice");
+        // All four shards returned it: three copies were merged away.
+        assert!(
+            cl.stats().duplicates_merged >= 3,
+            "expected straddler dedup, stats: {:?}",
+            cl.stats()
+        );
+        // And the ledger charges its payload once.
+        assert_eq!(
+            reply.object_bytes(),
+            reply
+                .objects
+                .iter()
+                .map(|o| pc_rtree::proto::OBJECT_HEADER_BYTES + o.size_bytes as u64)
+                .sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn updates_publish_per_shard_epochs_independently() {
+        let cl = quad_cluster(sample_store(80, 3));
+        let quiet: Vec<u64> = (0..4).map(|s| cl.shard(s).core().epoch()).collect();
+        assert_eq!(quiet, vec![0, 0, 0, 0]);
+
+        // Insert into the lower-left quadrant: exactly one shard publishes.
+        let e = ServerHandle::apply_updates(
+            &cl,
+            &[Update::Insert {
+                mbr: Rect::centered_square(Point::new(0.2, 0.2), 0.01),
+                size_bytes: 400,
+            }],
+        );
+        assert_eq!(e, 1, "cluster epoch advances once per batch");
+        let after: Vec<u64> = (0..4).map(|s| cl.shard(s).core().epoch()).collect();
+        assert_eq!(after.iter().sum::<u64>(), 1, "only the owner published");
+        let owner = after.iter().position(|&x| x == 1).unwrap() as u32;
+        assert_eq!(
+            owner,
+            cl.shard_map()
+                .first_owner(&Rect::centered_square(Point::new(0.2, 0.2), 0.01))
+        );
+
+        // Move it across the tile boundary: delete-here/insert-there in
+        // one batch — both shards publish, the others stay quiet.
+        let id = ObjectId(80);
+        let e = ServerHandle::apply_updates(
+            &cl,
+            &[Update::Move {
+                id,
+                to: Rect::centered_square(Point::new(0.8, 0.8), 0.01),
+            }],
+        );
+        assert_eq!(e, 2);
+        let finally: Vec<u64> = (0..4).map(|s| cl.shard(s).core().epoch()).collect();
+        let new_owner = cl
+            .shard_map()
+            .first_owner(&Rect::centered_square(Point::new(0.8, 0.8), 0.01));
+        assert_eq!(finally[owner as usize], 2, "old owner published the delete");
+        assert_eq!(
+            finally[new_owner as usize], 1,
+            "new owner published the insert"
+        );
+        assert_eq!(finally.iter().sum::<u64>(), 3);
+
+        // The handoff is visible in ground truth.
+        let found = cl.direct(&QuerySpec::Range {
+            window: Rect::centered_square(Point::new(0.8, 0.8), 0.05),
+        });
+        assert!(found.results.contains(&id));
+    }
+
+    #[test]
+    fn versioned_staleness_is_decided_per_shard() {
+        let cl = quad_cluster(sample_store(120, 5));
+        // Sync a client at epoch 0 via a versioned cold query.
+        let cold = cold_remainder(
+            &cl,
+            QuerySpec::Range {
+                window: Rect::centered_square(Point::new(0.25, 0.25), 0.1),
+            },
+        );
+        let VersionedReply::Fresh { epoch, .. } = cl.process_remainder_versioned(9, &cold, 0)
+        else {
+            panic!("cold client at the current epoch must be fresh");
+        };
+        assert_eq!(epoch, 0);
+
+        // Churn the upper-right quadrant only.
+        ServerHandle::apply_updates(
+            &cl,
+            &[Update::Insert {
+                mbr: Rect::centered_square(Point::new(0.8, 0.8), 0.01),
+                size_bytes: 300,
+            }],
+        );
+
+        let changed_shard = cl
+            .shard_map()
+            .first_owner(&Rect::centered_square(Point::new(0.8, 0.8), 0.01));
+        let quiet_shard = cl
+            .shard_map()
+            .first_owner(&Rect::centered_square(Point::new(0.2, 0.2), 0.05));
+        assert_ne!(changed_shard, quiet_shard);
+
+        // A warm heap referencing only the quiet shard's root: the churn
+        // elsewhere must NOT force a stale round-trip...
+        let quiet_pin = cl.shard(quiet_shard).core().pin();
+        let quiet_root = quiet_pin.tree().root();
+        let quiet_mbr = quiet_pin.tree().root_mbr().unwrap();
+        let warm = RemainderQuery {
+            spec: QuerySpec::Range {
+                window: Rect::centered_square(Point::new(0.2, 0.2), 0.05),
+            },
+            already_found: 0,
+            heap: vec![(
+                0.0,
+                HeapEntry::Single(Side::Cell {
+                    cell: CellRef::node_root(cl.shard_map().to_global(quiet_root, quiet_shard)),
+                    mbr: quiet_mbr,
+                }),
+            )],
+        };
+        match cl.process_remainder_versioned(9, &warm, 0) {
+            VersionedReply::Fresh {
+                invalidate, epoch, ..
+            } => {
+                assert_eq!(epoch, 1);
+                // ...though the other shard's invalidations ride along.
+                assert!(
+                    !invalidate.is_empty(),
+                    "changed shard's nodes must be invalidated"
+                );
+            }
+            other => panic!("expected per-shard freshness, got {other:?}"),
+        }
+
+        // The same client asking INTO the churned quadrant is stale.
+        let into_churn = RemainderQuery {
+            spec: QuerySpec::Range {
+                window: Rect::centered_square(Point::new(0.8, 0.8), 0.05),
+            },
+            already_found: 0,
+            heap: warm.heap.clone(),
+        };
+        match cl.process_remainder_versioned(9, &into_churn, 0) {
+            VersionedReply::Stale { invalidate, epoch } => {
+                assert_eq!(epoch, 1);
+                assert!(!invalidate.is_empty());
+            }
+            other => panic!("expected staleness toward the churned shard, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bootstrap_root_is_the_super_root() {
+        let cl = quad_cluster(sample_store(60, 2));
+        let (root, epoch) = cl.bootstrap_root();
+        let (node, mbr) = root.unwrap();
+        assert_eq!(node, SUPER_ROOT);
+        assert_eq!(epoch, 0);
+        // The super MBR covers every shard root.
+        for s in 0..4 {
+            if let Some(r) = cl.shard(s).core().pin().tree().root_mbr() {
+                assert!(mbr.contains_rect(&r));
+            }
+        }
+    }
+}

@@ -141,7 +141,20 @@ impl ServerCore {
     /// Bulk loads the index over `store` and prepares the BPTs offline.
     pub fn build(store: ObjectStore, tree_cfg: RTreeConfig) -> Self {
         let objects: Vec<_> = store.iter().copied().collect();
-        let tree = RTree::bulk_load(tree_cfg, &objects);
+        ServerCore::build_with_objects(store, tree_cfg, &objects)
+    }
+
+    /// [`build`](Self::build) indexing only `objects` — a subset of
+    /// `store` — while keeping the whole store resident. This is a
+    /// cluster shard's shape: every shard shares the global object store
+    /// (ids, sizes, liveness are world-wide facts) but its tree covers
+    /// only the objects whose MBRs touch the tiles it owns.
+    pub fn build_with_objects(
+        store: ObjectStore,
+        tree_cfg: RTreeConfig,
+        objects: &[pc_rtree::SpatialObject],
+    ) -> Self {
+        let tree = RTree::bulk_load(tree_cfg, objects);
         let bpts = BptStore::build(&tree);
         ServerCore {
             snap: SnapshotCell::new(Snapshot {
@@ -266,6 +279,95 @@ impl ServerCore {
         self.snap.publish(next);
         epoch
     }
+
+    /// Publishes one routed slice of a cluster update batch against this
+    /// shard: swaps in the already-updated global `store` (the cluster
+    /// processes id assignment, liveness and MBR changes once, against one
+    /// store for all shards) and applies the shard-local tree operations
+    /// the router derived from tile ownership. `tombstones` are the
+    /// objects that went globally dead this batch *and* were owned here —
+    /// they land in this shard's update log so behind-epoch clients are
+    /// told to drop them. Epoch bumping, dirty-node BPT rebuilds and
+    /// low-water pruning work exactly like
+    /// [`apply_updates_bounded`](Self::apply_updates_bounded); shards the
+    /// batch never touched are not called at all, so their epochs — and
+    /// their clients' staleness — advance independently.
+    pub fn publish_partition(
+        &self,
+        store: ObjectStore,
+        ops: &[PartitionOp],
+        tombstones: &[pc_rtree::ObjectId],
+        client_floor: Option<u64>,
+        max_history: u64,
+    ) -> u64 {
+        let _writer = self.write.lock().unwrap();
+        let mut next = Snapshot::clone(&self.pin());
+        *next.store_mut() = store;
+        for op in ops {
+            match *op {
+                PartitionOp::Insert(id) => {
+                    let obj = *next.store().get(id);
+                    next.tree_mut().insert(&obj);
+                }
+                PartitionOp::Delete(id, ref from) => {
+                    let removed = next.tree_mut().delete(id, from);
+                    debug_assert!(removed, "partition delete must match the indexed entry");
+                }
+                PartitionOp::Relocate(id, ref from) => {
+                    if next.tree_mut().delete(id, from) {
+                        let obj = *next.store().get(id);
+                        next.tree_mut().insert(&obj);
+                    }
+                }
+            }
+        }
+        let dirty = next.tree_mut().take_dirty();
+        let epoch = next.update_log_mut().bump_epoch();
+        for &id in tombstones {
+            next.update_log_mut().record_delete(id, epoch);
+        }
+        for n in dirty {
+            next.rebuild_bpt(n);
+            next.update_log_mut().record_change(n, epoch);
+        }
+        let horizon = client_floor
+            .unwrap_or(0)
+            .max(epoch.saturating_sub(max_history));
+        next.update_log_mut().prune(horizon);
+        self.snap.publish(next);
+        epoch
+    }
+
+    /// Swaps in a newer global store **without** bumping the epoch — the
+    /// cluster's store-sync for shards an update batch never touched.
+    /// Safe exactly because an untouched shard owns none of the batch's
+    /// objects: its indexed world (tree, BPTs, update log) is unchanged,
+    /// while globally-assigned ids stay resolvable for byte sizing no
+    /// matter which shard's snapshot a session pins.
+    pub fn refresh_store(&self, store: ObjectStore) {
+        let _writer = self.write.lock().unwrap();
+        let mut next = Snapshot::clone(&self.pin());
+        *next.store_mut() = store;
+        self.snap.publish(next);
+    }
+}
+
+/// One shard-local index operation of a routed cluster update batch,
+/// derived by the router from before/after tile ownership. Deletes and
+/// relocations carry the object's **batch-start** MBR — the rectangle the
+/// shard's tree actually indexed — so the entry is found even when a batch
+/// moved the object several times before settling.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum PartitionOp {
+    /// The object enters this shard's ownership: insert it at the MBR the
+    /// (already updated) store records.
+    Insert(pc_rtree::ObjectId),
+    /// The object leaves this shard (moved away or went dead): delete the
+    /// entry indexed at its batch-start MBR.
+    Delete(pc_rtree::ObjectId, pc_geom::Rect),
+    /// The object stays owned here but relocated: delete at the
+    /// batch-start MBR, re-insert at the store's current one.
+    Relocate(pc_rtree::ObjectId, pc_geom::Rect),
 }
 
 #[cfg(test)]

@@ -24,6 +24,7 @@
 //! (transport + shared-core metadata) instead of a concrete `&Server`.
 
 mod adaptive;
+pub mod cluster;
 mod core;
 pub mod epoch;
 mod forms;
@@ -35,7 +36,8 @@ pub mod transport;
 pub mod updates;
 
 pub use adaptive::{AdaptiveController, AdaptiveState};
-pub use core::{ServerCore, Snapshot};
+pub use cluster::{Cluster, ClusterConfig, ClusterStats, ShardMap, SUPER_ROOT};
+pub use core::{PartitionOp, ServerCore, Snapshot};
 pub use epoch::SnapshotCell;
 pub use forms::{build_shipments, FormMode};
 pub use server::{ClientId, FormPolicy, Server, ServerConfig};

@@ -75,6 +75,32 @@ impl Default for ServerConfig {
     }
 }
 
+impl ServerConfig {
+    /// Rejects configurations that would silently misbehave instead of
+    /// erroring: an adaptive table capped at zero clients evicts every
+    /// state the moment it is written, and a zero-epoch history window
+    /// full-refreshes every versioned contact. Called by
+    /// [`Server::new`]/[`Server::from_core`] (and the cluster's config
+    /// check), which panic with the returned message.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.max_tracked_clients == 0 {
+            return Err(
+                "ServerConfig::max_tracked_clients must be ≥ 1: a zero-capacity adaptive \
+                 table would evict every client state on write"
+                    .to_string(),
+            );
+        }
+        if self.max_update_history == 0 {
+            return Err(
+                "ServerConfig::max_update_history must be ≥ 1: with zero retained epochs \
+                 every versioned contact would be refused with a full refresh"
+                    .to_string(),
+            );
+        }
+        Ok(())
+    }
+}
+
 /// The mobile application server of Fig. 3.
 #[derive(Clone, Debug)]
 pub struct Server {
@@ -90,8 +116,10 @@ impl Server {
     }
 
     /// Wraps an already-built core (shared-index deployments build the core
-    /// once and stand up policy façades around it).
+    /// once and stand up policy façades around it). Panics on an invalid
+    /// configuration ([`ServerConfig::validate`]).
     pub fn from_core(core: ServerCore, cfg: ServerConfig) -> Self {
+        cfg.validate().expect("invalid ServerConfig");
         Server {
             core,
             cfg,
@@ -204,6 +232,36 @@ mod tests {
     use pc_rtree::naive;
     use pc_rtree::ObjectId;
     use std::sync::Arc;
+
+    #[test]
+    fn config_validation_names_the_offending_field() {
+        assert!(ServerConfig::default().validate().is_ok());
+        let err = ServerConfig {
+            max_tracked_clients: 0,
+            ..ServerConfig::default()
+        }
+        .validate()
+        .unwrap_err();
+        assert!(err.contains("max_tracked_clients"), "{err}");
+        let err = ServerConfig {
+            max_update_history: 0,
+            ..ServerConfig::default()
+        }
+        .validate()
+        .unwrap_err();
+        assert!(err.contains("max_update_history"), "{err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "max_update_history")]
+    fn construction_rejects_invalid_configs() {
+        let cfg = ServerConfig {
+            max_update_history: 0,
+            ..ServerConfig::default()
+        };
+        let base = sample_server(10, 1, FormPolicy::Adaptive);
+        let _ = Server::from_core(base.core().clone(), cfg);
+    }
 
     #[test]
     fn server_is_send_sync() {

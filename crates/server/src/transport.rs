@@ -16,7 +16,9 @@
 use crate::server::{ClientId, Server};
 use crate::updates::Update;
 use crate::ServerCore;
+use pc_geom::Rect;
 use pc_rtree::proto::{DirectReply, Request, Response};
+use pc_rtree::NodeId;
 
 /// A synchronous request/reply channel to a server. `Send + Sync` so one
 /// transport instance can serve a whole fleet of concurrent clients.
@@ -40,6 +42,25 @@ pub trait ServerHandle: Transport {
     /// full history.
     fn apply_updates(&self, updates: &[Update]) -> u64 {
         self.core().apply_updates(updates)
+    }
+
+    /// The out-of-band catalog bootstrap: `(root node, root MBR)` of the
+    /// index a cold client should navigate (`None` for an empty world)
+    /// plus the epoch that root was pinned at. The default reads the
+    /// single core's tree; a cluster overrides it with its synthetic
+    /// super-root (and its cluster-wide epoch) so clients navigate the
+    /// merged view instead of one shard's slice.
+    fn bootstrap_root(&self) -> (Option<(NodeId, Rect)>, u64) {
+        let snap = self.core().pin();
+        let root = snap.tree().root_mbr().map(|mbr| (snap.tree().root(), mbr));
+        (root, snap.epoch())
+    }
+
+    /// Retained update-log records (changed nodes + tombstones) across the
+    /// whole deployment — summed over shards for a cluster. The bounded-log
+    /// diagnostic fleet runs report.
+    fn log_records(&self) -> usize {
+        self.core().pin().update_log().retained_records()
     }
 }
 

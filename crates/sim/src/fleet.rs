@@ -168,19 +168,24 @@ impl Fleet {
                     })
                 })
                 .collect();
-            let results: Vec<_> = handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("fleet worker panicked"))
-                .collect();
+            // Join workers before inspecting their results: the stop flag
+            // must be raised (and the driver joined) even when a worker
+            // panicked, or the scope would hang forever on the driver
+            // thread instead of propagating the panic.
+            let joined: Vec<_> = handles.into_iter().map(|h| h.join()).collect();
             stop.store(true, Ordering::Release);
             let churn_out = driver.map(|d| d.join().expect("update driver panicked"));
+            let results: Vec<_> = joined
+                .into_iter()
+                .flat_map(|r| r.expect("fleet worker panicked"))
+                .collect();
             (results, churn_out)
         });
         let mut out = FleetResult::collect(results, start.elapsed().as_secs_f64());
         if let Some((applied, epoch)) = churn_out {
             out.updates_applied = applied;
             out.final_epoch = epoch;
-            out.log_records = server.core().pin().update_log().retained_records();
+            out.log_records = server.log_records();
         }
         out
     }

@@ -34,7 +34,7 @@ pub use runner::{ModelRunner, ProactiveRunner, RunOutput};
 pub use session::{client_seed, ClientSession};
 pub use updates::{generate_update, ChurnConfig, UpdatingClient, UpdatingOutcome};
 
-use pc_server::{Server, ServerConfig};
+use pc_server::{Cluster, ClusterConfig, Server, ServerConfig};
 
 /// Builds the server (dataset + index + BPTs) for a configuration. Exposed
 /// separately so harnesses can reuse one server across model runs — dataset
@@ -49,6 +49,26 @@ pub fn build_server(cfg: &SimConfig) -> Server {
             sensitivity: cfg.sensitivity,
             initial_d: cfg.initial_d,
             ..Default::default()
+        },
+    )
+}
+
+/// Builds a spatially-sharded cluster over the same generated dataset —
+/// the scatter-gather counterpart of [`build_server`]. Fleet and churn
+/// drivers run against it through `&dyn ServerHandle` unchanged.
+pub fn build_cluster(cfg: &SimConfig, shards: u32) -> Cluster {
+    let store = cfg.dataset.generate(cfg.n_objects, cfg.seed);
+    Cluster::new(
+        store,
+        cfg.tree_cfg,
+        ClusterConfig {
+            server: ServerConfig {
+                form: cfg.form,
+                sensitivity: cfg.sensitivity,
+                initial_d: cfg.initial_d,
+                ..Default::default()
+            },
+            ..ClusterConfig::new(shards)
         },
     )
 }

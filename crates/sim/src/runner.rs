@@ -16,7 +16,7 @@ use pc_rtree::proto::{
     INVALIDATION_BYTES, OBJECT_HEADER_BYTES, PAIR_BYTES,
 };
 use pc_rtree::ObjectId;
-use pc_server::{ClientId, ServerHandle};
+use pc_server::{ClientId, ServerHandle, SUPER_ROOT};
 use std::time::Instant;
 
 /// What one query produced, regardless of model.
@@ -75,15 +75,16 @@ pub(crate) fn make_runner(
             client,
         }),
         CacheModel::Proactive => {
-            // Catalog and starting epoch come from one pin: the client
-            // begins life synced to the world its catalog describes, so
-            // its first contact is not spuriously refused as stale.
-            let snap = server.core().pin();
+            // Catalog and starting epoch come from one bootstrap read: the
+            // client begins life synced to the world its catalog describes,
+            // so its first contact is not spuriously refused as stale. For
+            // a cluster the catalog points at the synthetic super-root.
+            let (root, epoch) = server.bootstrap_root();
             Box::new(
-                ProactiveRunner::new(capacity, cfg.policy, Catalog::from_tree(snap.tree()))
+                ProactiveRunner::new(capacity, cfg.policy, Catalog { root })
                     .with_client(client)
                     .versioned(cfg.versioned)
-                    .at_epoch(snap.epoch()),
+                    .at_epoch(epoch),
             )
         }
     }
@@ -297,7 +298,17 @@ impl ProactiveRunner {
                     let inv = invalidate.len() as u64 * INVALIDATION_BYTES;
                     invalidation_bytes += inv + EPOCH_BYTES;
                     for &n in &invalidate {
-                        self.client.cache_mut().invalidate_node(n);
+                        // The virtual super-root is routing metadata: drop
+                        // only its own view. Its shard subtrees are
+                        // versioned per shard (each arrives with its own
+                        // invalidation entries), and a deep drop here
+                        // would tear out views the in-flight remainder
+                        // heap still references.
+                        if n == SUPER_ROOT {
+                            self.client.cache_mut().invalidate_node_shallow(n);
+                        } else {
+                            self.client.cache_mut().invalidate_node(n);
+                        }
                     }
                     self.epoch = epoch;
                     ledger.confirmed_bytes = reply
@@ -336,7 +347,17 @@ impl ProactiveRunner {
                     invalidation_bytes += inv + EPOCH_BYTES;
                     ledger.extra_downlink_bytes += inv + EPOCH_BYTES;
                     for &n in &invalidate {
-                        self.client.cache_mut().invalidate_node(n);
+                        // The virtual super-root is routing metadata: drop
+                        // only its own view. Its shard subtrees are
+                        // versioned per shard (each arrives with its own
+                        // invalidation entries), and a deep drop here
+                        // would tear out views the in-flight remainder
+                        // heap still references.
+                        if n == SUPER_ROOT {
+                            self.client.cache_mut().invalidate_node_shallow(n);
+                        } else {
+                            self.client.cache_mut().invalidate_node(n);
+                        }
                     }
                     self.epoch = epoch;
                     // Loop: re-run stage ① against the cleaned cache.
@@ -351,10 +372,9 @@ impl ProactiveRunner {
                     full_refreshes += 1;
                     invalidation_bytes += FULL_REFRESH_BYTES;
                     ledger.extra_downlink_bytes += FULL_REFRESH_BYTES;
-                    let fresh = server.core().pin();
-                    self.client
-                        .full_refresh(pc_cache::Catalog::from_tree(fresh.tree()));
-                    self.epoch = fresh.epoch();
+                    let (root, epoch) = server.bootstrap_root();
+                    self.client.full_refresh(pc_cache::Catalog { root });
+                    self.epoch = epoch;
                 }
             }
         }

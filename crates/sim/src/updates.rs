@@ -15,7 +15,7 @@ use pc_rtree::proto::{
     OBJECT_HEADER_BYTES, PAIR_BYTES,
 };
 use pc_rtree::{NodeId, ObjectId};
-use pc_server::{ClientId, ServerHandle, Update, VersionedReply};
+use pc_server::{ClientId, ServerHandle, Update, VersionedReply, SUPER_ROOT};
 use rand::rngs::SmallRng;
 use rand::Rng;
 
@@ -82,7 +82,15 @@ impl UpdatingClient {
     fn apply_invalidations(&mut self, nodes: &[NodeId]) -> usize {
         let mut dropped = 0;
         for &n in nodes {
-            let (items, _) = self.client.cache_mut().invalidate_node(n);
+            // A cluster's virtual super-root is routing metadata: drop
+            // only its own view and keep the shard subtrees (each shard
+            // ships its own invalidation entries). A deep drop would tear
+            // out views an in-flight remainder heap still references.
+            let (items, _) = if n == SUPER_ROOT {
+                self.client.cache_mut().invalidate_node_shallow(n)
+            } else {
+                self.client.cache_mut().invalidate_node(n)
+            };
             dropped += items;
         }
         dropped
@@ -172,10 +180,10 @@ impl UpdatingClient {
                     // and restart stage ① cold.
                     out.full_refreshes += 1;
                     out.ledger.extra_downlink_bytes += FULL_REFRESH_BYTES;
-                    let fresh = server.core().pin();
-                    let (items, _) = self.client.full_refresh(Catalog::from_tree(fresh.tree()));
+                    let (root, epoch) = server.bootstrap_root();
+                    let (items, _) = self.client.full_refresh(Catalog { root });
                     out.invalidated_items += items;
-                    self.epoch = fresh.epoch();
+                    self.epoch = epoch;
                 }
             }
         }
