@@ -1,0 +1,70 @@
+//! Criterion micro-benchmarks for the flattened query hot path: the old
+//! recursive per-entry kernels (`query::baseline`) against the iterative
+//! struct-of-arrays kernels with a reused [`QueryScratch`].
+//!
+//! [`QueryScratch`]: pc_rtree::query::QueryScratch
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pc_geom::{Point, Rect};
+use pc_rtree::query::{self, QueryScratch};
+use pc_rtree::{RTree, RTreeConfig};
+use pc_workload::datasets;
+use std::hint::black_box;
+
+fn build_tree(n: usize) -> RTree {
+    let store = datasets::ne_like(n, 7);
+    let objects: Vec<_> = store.iter().copied().collect();
+    RTree::bulk_load(RTreeConfig::paper(), &objects)
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let tree = build_tree(100_000);
+    let w = Rect::centered_square(Point::new(0.31, 0.36), 0.0316);
+    let p = Point::new(0.31, 0.36);
+
+    let mut g = c.benchmark_group("kernel/range_1e-3");
+    g.bench_function("recursive", |b| {
+        b.iter(|| query::baseline::range_query(&tree, black_box(&w)))
+    });
+    g.bench_function("soa_iterative", |b| {
+        let mut scratch = QueryScratch::default();
+        let mut out = Vec::new();
+        b.iter(|| {
+            query::range_query_with(&tree, black_box(&w), &mut scratch, &mut out);
+            out.len()
+        })
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("kernel/knn_10");
+    g.bench_function("recursive", |b| {
+        b.iter(|| query::baseline::knn_query(&tree, black_box(&p), 10))
+    });
+    g.bench_function("soa_iterative", |b| {
+        let mut scratch = QueryScratch::default();
+        let mut out = Vec::new();
+        b.iter(|| {
+            query::knn_query_with(&tree, black_box(&p), 10, &mut scratch, &mut out);
+            out.len()
+        })
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("kernel/self_join");
+    g.sample_size(10);
+    g.bench_function("recursive", |b| {
+        b.iter(|| query::baseline::distance_self_join(&tree, black_box(6e-5)))
+    });
+    g.bench_function("soa_iterative", |b| {
+        let mut scratch = QueryScratch::default();
+        let mut out = Vec::new();
+        b.iter(|| {
+            query::distance_self_join_with(&tree, black_box(6e-5), &mut scratch, &mut out);
+            out.len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

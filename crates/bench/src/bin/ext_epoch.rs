@@ -44,7 +44,9 @@ struct Row {
     nodes: usize,
     publish_us: f64,
     copied_nodes: f64,
+    copied_node_chunks: f64,
     rebuilt_bpts: f64,
+    copied_bpt_chunks: f64,
     copied_chunks: f64,
     fresh_bytes: f64,
     log_records: usize,
@@ -59,7 +61,9 @@ fn measure(n_objects: usize, batch: usize, seed: u64) -> Row {
     let mut rng = SmallRng::seed_from_u64(seed ^ 0xE60C);
     let mut publish_s = 0.0;
     let mut copied_nodes = 0usize;
+    let mut copied_node_chunks = 0usize;
     let mut rebuilt_bpts = 0usize;
+    let mut copied_bpt_chunks = 0usize;
     let mut copied_chunks = 0usize;
     let mut fresh_bytes = 0u64;
     for _ in 0..ROUNDS {
@@ -75,17 +79,25 @@ fn measure(n_objects: usize, batch: usize, seed: u64) -> Row {
 
         let copied = new.tree().slab_len() - new.tree().shared_node_slots(old.tree());
         copied_nodes += copied;
+        let node_chunks = new.tree().node_chunk_count() - new.tree().shared_node_chunks(old.tree());
+        copied_node_chunks += node_chunks;
         let rebuilt = new.bpts().node_count() - new.bpts().shared_bpts(old.bpts());
         rebuilt_bpts += rebuilt;
+        let bpt_chunks = new.bpts().chunk_count() - new.bpts().shared_chunks(old.bpts());
+        copied_bpt_chunks += bpt_chunks;
         let chunks = new.store().chunk_count() - new.store().shared_chunks(old.store());
         copied_chunks += chunks;
         // Freshly allocated bytes per publish: copied index pages, the
-        // rebuilt BPTs (at the store's mean aux size) and copied store
-        // segments (40 bytes per object record).
+        // rebuilt BPTs (at the store's mean aux size), copied store
+        // segments (40 bytes per object record) and the copied chunk
+        // spines (one `Arc` pointer per slot).
         let mean_bpt = new.bpt_bytes() / new.bpts().node_count().max(1) as u64;
         fresh_bytes += copied as u64 * PAGE_BYTES
             + rebuilt as u64 * mean_bpt
-            + chunks as u64 * pc_rtree::STORE_CHUNK_LEN as u64 * 40;
+            + chunks as u64 * pc_rtree::STORE_CHUNK_LEN as u64 * 40
+            + (node_chunks as u64 * pc_rtree::NODE_CHUNK_LEN as u64
+                + bpt_chunks as u64 * pc_rtree::bpt::BPT_CHUNK_LEN as u64)
+                * 8;
     }
     let snap = server.snapshot();
     let rounds = ROUNDS as f64;
@@ -95,7 +107,9 @@ fn measure(n_objects: usize, batch: usize, seed: u64) -> Row {
         nodes: snap.tree().slab_len(),
         publish_us: publish_s * 1e6 / rounds,
         copied_nodes: copied_nodes as f64 / rounds,
+        copied_node_chunks: copied_node_chunks as f64 / rounds,
         rebuilt_bpts: rebuilt_bpts as f64 / rounds,
+        copied_bpt_chunks: copied_bpt_chunks as f64 / rounds,
         copied_chunks: copied_chunks as f64 / rounds,
         fresh_bytes: fresh_bytes as f64 / rounds,
         log_records: snap.update_log().retained_records(),
@@ -104,7 +118,8 @@ fn measure(n_objects: usize, batch: usize, seed: u64) -> Row {
 
 fn render(rows: &[Row], sweep: &str) -> (Table, Vec<String>) {
     let mut t = Table::new(vec![
-        "objects", "batch", "nodes", "publish", "copied n", "bpts", "chunks", "fresh", "log",
+        "objects", "batch", "nodes", "publish", "copied n", "n-chunk", "bpts", "b-chunk", "chunks",
+        "fresh", "log",
     ]);
     let mut json_rows = Vec::new();
     for r in rows {
@@ -114,7 +129,9 @@ fn render(rows: &[Row], sweep: &str) -> (Table, Vec<String>) {
             r.nodes.to_string(),
             format!("{:.0}us", r.publish_us),
             format!("{:.1}", r.copied_nodes),
+            format!("{:.1}", r.copied_node_chunks),
             format!("{:.1}", r.rebuilt_bpts),
+            format!("{:.1}", r.copied_bpt_chunks),
             format!("{:.1}", r.copied_chunks),
             fmt_bytes(r.fresh_bytes),
             r.log_records.to_string(),
@@ -127,7 +144,9 @@ fn render(rows: &[Row], sweep: &str) -> (Table, Vec<String>) {
                 .num("nodes", r.nodes)
                 .num("publish_us", r.publish_us)
                 .num("copied_nodes", r.copied_nodes)
+                .num("copied_node_chunks", r.copied_node_chunks)
                 .num("rebuilt_bpts", r.rebuilt_bpts)
+                .num("copied_bpt_chunks", r.copied_bpt_chunks)
                 .num("copied_chunks", r.copied_chunks)
                 .num("fresh_bytes", r.fresh_bytes)
                 .num("log_records", r.log_records)

@@ -1,0 +1,270 @@
+//! Query hot-path extension experiment: what did flattening the node layout
+//! buy on the read side?
+//!
+//! The server answers every remainder query (and the epoch snapshots answer
+//! every direct query) through the `pc_rtree` kernels, so their cost is the
+//! floor under all Fig. 6–9 response times. This binary sweeps dataset sizes
+//! up to `--objects` (use `--objects 1000000` for the million-object run)
+//! and, at each size, times the three §3.1 algorithms twice:
+//!
+//! * **base** — the recursive per-entry baseline (`query::baseline`), the
+//!   pre-SoA code shape: one `Vec`/`BinaryHeap` allocation per call and an
+//!   `Entry` materialised per comparison;
+//! * **soa** — the iterative struct-of-arrays kernels driven by one reused
+//!   [`QueryScratch`] and caller-owned result buffers (zero steady-state
+//!   allocations).
+//!
+//! Both variants answer the *same* queries and the results are
+//! cross-checked before timing, so the speedup column never compares
+//! different work. `--json OUT` writes the rows as `BENCH_hotpath.json`
+//! for the CI artifact trail.
+//!
+//! [`QueryScratch`]: pc_rtree::query::QueryScratch
+
+use pc_bench::{json, HarnessOpts, Table};
+use pc_geom::{Point, Rect};
+use pc_rtree::query::{self, QueryScratch};
+use pc_rtree::{ObjectId, RTree, RTreeConfig};
+use pc_workload::datasets;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Neighbours requested per kNN query (the paper's NN experiments use
+/// small k; 10 keeps the heap non-trivial).
+const K: usize = 10;
+
+/// Self-join distance — the paper's 5e-5 scale; the NE-like hard-core
+/// spacing makes this a pure index/CPU stressor at every cardinality.
+const JOIN_DIST: f64 = 6e-5;
+
+struct Row {
+    objects: usize,
+    kind: &'static str,
+    queries: usize,
+    base_us: f64,
+    soa_us: f64,
+    results: u64,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.base_us / self.soa_us.max(1e-9)
+    }
+}
+
+/// Times `queries` runs of `f` and returns (µs per query, checksum).
+fn time_each<F: FnMut() -> u64>(queries: usize, mut f: F) -> (f64, u64) {
+    let mut checksum = 0u64;
+    let t = Instant::now();
+    for _ in 0..queries {
+        checksum = checksum.wrapping_add(f());
+    }
+    (t.elapsed().as_secs_f64() * 1e6 / queries as f64, checksum)
+}
+
+fn measure(n: usize, queries: usize, seed: u64) -> Vec<Row> {
+    let store = datasets::ne_like(n, seed);
+    let objects: Vec<_> = store.iter().copied().collect();
+    let tree = RTree::bulk_load(RTreeConfig::paper(), &objects);
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x407);
+
+    // Fixed window area (1e-4 of the unit square): result counts grow with
+    // n, which is exactly what stresses the qualification loop.
+    let side = 0.01;
+    let windows: Vec<Rect> = (0..queries)
+        .map(|_| {
+            let p = Point::new(rng.random_range(0.0..1.0), rng.random_range(0.0..1.0));
+            Rect::centered_square(p, side)
+        })
+        .collect();
+    let centers: Vec<Point> = (0..queries)
+        .map(|_| Point::new(rng.random_range(0.0..1.0), rng.random_range(0.0..1.0)))
+        .collect();
+
+    // Cross-check before timing: both variants must answer identically.
+    let mut scratch = QueryScratch::default();
+    let mut ids: Vec<ObjectId> = Vec::new();
+    query::range_query_with(&tree, &windows[0], &mut scratch, &mut ids);
+    ids.sort_unstable();
+    let mut rec = query::baseline::range_query(&tree, &windows[0]);
+    rec.sort_unstable();
+    assert_eq!(ids, rec, "range kernels disagree");
+    let mut knn = Vec::new();
+    query::knn_query_with(&tree, &centers[0], K, &mut scratch, &mut knn);
+    assert_eq!(
+        knn,
+        query::baseline::knn_query(&tree, &centers[0], K),
+        "kNN kernels disagree"
+    );
+    let mut pairs = Vec::new();
+    query::distance_self_join_with(&tree, JOIN_DIST, &mut scratch, &mut pairs);
+    assert_eq!(
+        pairs,
+        query::baseline::distance_self_join(&tree, JOIN_DIST),
+        "join kernels disagree"
+    );
+
+    let mut rows = Vec::new();
+    // `move` closures below capture these shared borrows (Copy), not the
+    // owned values.
+    let tree = &tree;
+    let windows = &windows[..];
+    let centers = &centers[..];
+
+    let (base_us, base_sum) = time_each(queries, {
+        let mut i = 0;
+        move || {
+            let w = &windows[i % windows.len()];
+            i += 1;
+            query::baseline::range_query(tree, black_box(w)).len() as u64
+        }
+    });
+    let (soa_us, soa_sum) = time_each(queries, {
+        let mut i = 0;
+        let mut scratch = QueryScratch::default();
+        let mut out = Vec::new();
+        move || {
+            let w = &windows[i % windows.len()];
+            i += 1;
+            query::range_query_with(tree, black_box(w), &mut scratch, &mut out);
+            out.len() as u64
+        }
+    });
+    assert_eq!(base_sum, soa_sum, "range checksums diverged");
+    rows.push(Row {
+        objects: n,
+        kind: "range",
+        queries,
+        base_us,
+        soa_us,
+        results: soa_sum,
+    });
+
+    let (base_us, base_sum) = time_each(queries, {
+        let mut i = 0;
+        move || {
+            let p = &centers[i % centers.len()];
+            i += 1;
+            query::baseline::knn_query(tree, black_box(p), K).len() as u64
+        }
+    });
+    let (soa_us, soa_sum) = time_each(queries, {
+        let mut i = 0;
+        let mut scratch = QueryScratch::default();
+        let mut out = Vec::new();
+        move || {
+            let p = &centers[i % centers.len()];
+            i += 1;
+            query::knn_query_with(tree, black_box(p), K, &mut scratch, &mut out);
+            out.len() as u64
+        }
+    });
+    assert_eq!(base_sum, soa_sum, "kNN checksums diverged");
+    rows.push(Row {
+        objects: n,
+        kind: "knn",
+        queries,
+        base_us,
+        soa_us,
+        results: soa_sum,
+    });
+
+    // The self-join walks the whole tree; a handful of repetitions is
+    // plenty of work at every size in the sweep.
+    let join_reps = 3;
+    let (base_us, base_sum) = time_each(join_reps, || {
+        query::baseline::distance_self_join(tree, black_box(JOIN_DIST)).len() as u64
+    });
+    let (soa_us, soa_sum) = time_each(join_reps, {
+        let mut scratch = QueryScratch::default();
+        let mut out = Vec::new();
+        move || {
+            query::distance_self_join_with(tree, black_box(JOIN_DIST), &mut scratch, &mut out);
+            out.len() as u64
+        }
+    });
+    assert_eq!(base_sum, soa_sum, "join checksums diverged");
+    rows.push(Row {
+        objects: n,
+        kind: "join",
+        queries: join_reps,
+        base_us,
+        soa_us,
+        results: soa_sum,
+    });
+
+    rows
+}
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let max_objects = opts.objects.unwrap_or(200_000);
+    let queries = opts.queries.unwrap_or(1_000);
+    println!("=== ext: query hot path (recursive baseline vs iterative SoA kernels) ===");
+    println!(
+        "k={K} join_dist={JOIN_DIST} queries/size={queries} seed={}\n",
+        opts.seed
+    );
+
+    let mut sizes = vec![max_objects];
+    while *sizes.last().unwrap() > 40_000 {
+        sizes.push(sizes.last().unwrap() / 4);
+    }
+    sizes.reverse();
+
+    let mut t = Table::new(vec![
+        "objects", "kind", "queries", "base/q", "soa/q", "speedup", "results",
+    ]);
+    let mut json_rows = Vec::new();
+    let mut speedups: Vec<(String, f64)> = Vec::new();
+    for &n in &sizes {
+        for r in measure(n, queries, opts.seed) {
+            t.row(vec![
+                r.objects.to_string(),
+                r.kind.to_string(),
+                r.queries.to_string(),
+                format!("{:.1}us", r.base_us),
+                format!("{:.1}us", r.soa_us),
+                format!("{:.2}x", r.speedup()),
+                r.results.to_string(),
+            ]);
+            json_rows.push(
+                json::Obj::new()
+                    .num("objects", r.objects)
+                    .str("kind", r.kind)
+                    .num("queries", r.queries)
+                    .num("base_us_per_query", r.base_us)
+                    .num("soa_us_per_query", r.soa_us)
+                    .num("speedup", r.speedup())
+                    .num("results", r.results)
+                    .render(),
+            );
+            if n == max_objects {
+                speedups.push((r.kind.to_string(), r.speedup()));
+            }
+        }
+    }
+    t.print();
+
+    let summary: Vec<String> = speedups
+        .iter()
+        .map(|(k, s)| format!("{k} {s:.2}x"))
+        .collect();
+    println!("\nat {max_objects} objects: {}", summary.join(", "));
+
+    if let Some(path) = &opts.json {
+        let doc = json::Obj::new()
+            .str("bench", "ext_hotpath")
+            .num("seed", opts.seed)
+            .num("k", K)
+            .num("join_dist", JOIN_DIST)
+            .num("queries_per_size", queries)
+            .num("max_objects", max_objects)
+            .raw("rows", &json::array(&json_rows))
+            .render();
+        std::fs::write(path, doc + "\n").expect("write --json output");
+        println!("wrote {path}");
+    }
+}

@@ -5,7 +5,7 @@
 
 use pc_cache::{CacheView, Catalog, InsertOutcome, ItemKey, ProactiveCache, ReplacementPolicy};
 use pc_geom::Point;
-use pc_rtree::engine::{execute, AccessLog};
+use pc_rtree::engine::{execute_with, AccessLog, EngineScratch};
 use pc_rtree::proto::{QuerySpec, RemainderQuery, ServerReply};
 use pc_rtree::ObjectId;
 
@@ -46,6 +46,9 @@ pub struct Client {
     catalog: Catalog,
     /// Query sequence id — the paper's `T` (§5.2).
     seq: u64,
+    /// Reused engine buffers: one allocation set per client, not per query.
+    scratch: EngineScratch,
+    log: AccessLog,
 }
 
 impl Client {
@@ -54,6 +57,8 @@ impl Client {
             cache: ProactiveCache::new(capacity, policy),
             catalog,
             seq: 0,
+            scratch: EngineScratch::default(),
+            log: AccessLog::default(),
         }
     }
 
@@ -93,18 +98,18 @@ impl Client {
     /// Stage ①: evaluates `spec` over the cache. All items the traversal
     /// used are marked as hit by this query.
     pub fn run_local(&mut self, spec: &QuerySpec) -> LocalOutcome {
-        let mut log = AccessLog::default();
+        self.log.clear();
         let outcome = {
             let view = CacheView::new(&self.cache, self.catalog);
-            execute(&view, spec, &mut log)
+            execute_with(&view, spec, &mut self.log, &mut self.scratch)
         };
         // Hit accounting: every node whose cells the traversal consulted,
         // plus every object confirmed as a saved result.
         let now = self.seq;
-        for node in log.nodes.keys() {
+        for node in self.log.nodes.keys() {
             self.cache.touch(ItemKey::Node(*node), now);
         }
-        for id in &log.confirmed {
+        for id in &self.log.confirmed {
             self.cache.touch(ItemKey::Object(*id), now);
         }
         LocalOutcome {

@@ -12,7 +12,6 @@ use crate::split::rstar_split;
 use crate::tree::RTree;
 use crate::NodeId;
 use pc_geom::Rect;
-use std::collections::HashMap;
 use std::sync::Arc;
 
 /// A path through a binary partition tree: the paper's `(n, code)` id with
@@ -110,7 +109,8 @@ pub struct BptCell {
 pub enum BptCellKind {
     /// A super entry: indices of the two child cells in the BPT arena.
     Internal { left: u32, right: u32 },
-    /// An actual entry of the R-tree node (index into `node.entries`).
+    /// An actual entry of the R-tree node (index into its entry columns,
+    /// resolved via [`crate::Node::entry`]).
     Leaf { entry_idx: u16 },
 }
 
@@ -331,16 +331,26 @@ fn midpoint_split(rects: &[Rect]) -> (Vec<usize>, Vec<usize>) {
     (order[..cut].to_vec(), order[cut..].to_vec())
 }
 
+/// BPT slots per store segment (power of two so indexing is a shift+mask).
+const BPT_CHUNK_SHIFT: u32 = 10;
+/// Segment capacity derived from the shift.
+pub const BPT_CHUNK_LEN: usize = 1 << BPT_CHUNK_SHIFT;
+
 /// Binary partition trees for every node of a tree, built offline ("a
 /// one-time operation", §4.2).
 ///
-/// Each BPT sits behind its own `Arc`: cloning the store clones only the
-/// pointer table, and [`BptStore::rebuild_node`] swaps in a fresh BPT for
-/// exactly the nodes an update batch dirtied, leaving every other node's
-/// BPT structurally shared with the previous snapshot.
+/// A dense slab indexed by [`NodeId`] (one slot per tree slab slot —
+/// detached node husks keep an empty BPT, which costs zero aux bytes),
+/// segmented into [`BPT_CHUNK_LEN`]-slot `Arc` chunks like the tree's node
+/// slab. Each BPT additionally sits behind its own `Arc`: cloning the store
+/// clones only the segment pointer table, and [`BptStore::rebuild_node`]
+/// swaps in a fresh BPT for exactly the nodes an update batch dirtied —
+/// copying the dirtied slots' segments, not the whole table — leaving every
+/// other node's BPT structurally shared with the previous snapshot.
 #[derive(Clone, Debug, Default)]
 pub struct BptStore {
-    map: HashMap<NodeId, Arc<Bpt>>,
+    chunks: Vec<Arc<Vec<Arc<Bpt>>>>,
+    len: usize,
 }
 
 impl BptStore {
@@ -350,42 +360,94 @@ impl BptStore {
 
     /// Builds with an explicit split policy (ablation support).
     pub fn build_with(tree: &RTree, policy: SplitPolicy) -> BptStore {
-        let mut map = HashMap::new();
-        for id in tree.node_ids() {
-            let mbrs: Vec<Rect> = tree.node(id).entries.iter().map(|e| e.mbr).collect();
-            map.insert(id, Arc::new(Bpt::build_with(&mbrs, policy)));
+        let mut store = BptStore::default();
+        for i in 0..tree.slab_len() {
+            let node = tree.node(NodeId(i as u32));
+            let mbrs: Vec<Rect> = (0..node.len()).map(|j| node.mbr_at(j)).collect();
+            store.push(Arc::new(Bpt::build_with(&mbrs, policy)));
         }
-        BptStore { map }
+        store
+    }
+
+    /// Appends one slot, growing a fresh segment at chunk boundaries.
+    fn push(&mut self, bpt: Arc<Bpt>) {
+        if self.len.is_multiple_of(BPT_CHUNK_LEN) {
+            self.chunks
+                .push(Arc::new(Vec::with_capacity(BPT_CHUNK_LEN)));
+        }
+        Arc::make_mut(self.chunks.last_mut().expect("segment just ensured")).push(bpt);
+        self.len += 1;
     }
 
     pub fn get(&self, id: NodeId) -> &Bpt {
-        &self.map[&id]
+        let i = id.0 as usize;
+        &self.chunks[i >> BPT_CHUNK_SHIFT][i & (BPT_CHUNK_LEN - 1)]
     }
 
     /// Rebuilds the BPT of one node (used when dynamic inserts change a
-    /// node's entry set).
+    /// node's entry set), growing the slab when the node is new. Copies
+    /// only the segment the slot lives in.
     pub fn rebuild_node(&mut self, tree: &RTree, id: NodeId) {
-        let mbrs: Vec<Rect> = tree.node(id).entries.iter().map(|e| e.mbr).collect();
-        self.map.insert(id, Arc::new(Bpt::build(&mbrs)));
+        while self.len <= id.0 as usize {
+            // Slots for nodes created by this batch; every new node is in
+            // the dirty set, so each placeholder is rebuilt in turn.
+            self.push(Arc::new(Bpt::default()));
+        }
+        let node = tree.node(id);
+        let mbrs: Vec<Rect> = (0..node.len()).map(|j| node.mbr_at(j)).collect();
+        let i = id.0 as usize;
+        let chunk = Arc::make_mut(&mut self.chunks[i >> BPT_CHUNK_SHIFT]);
+        chunk[i & (BPT_CHUNK_LEN - 1)] = Arc::new(Bpt::build(&mbrs));
     }
 
     /// Total auxiliary bytes across all nodes — the §6.4 "4.2 MB for NE"
     /// figure; bounded by twice the R-tree size.
     pub fn total_aux_bytes(&self) -> u64 {
-        self.map.values().map(|b| b.aux_bytes()).sum()
+        self.chunks
+            .iter()
+            .flat_map(|c| c.iter())
+            .map(|b| b.aux_bytes())
+            .sum()
     }
 
+    /// Number of BPT slots (one per tree slab slot).
     pub fn node_count(&self) -> usize {
-        self.map.len()
+        self.len
     }
 
     /// How many per-node BPTs `self` physically shares with `other` (same
-    /// `Arc` under the same node id) — the structural-sharing diagnostic
+    /// `Arc` at the same slot) — the structural-sharing diagnostic
     /// mirroring [`RTree::shared_node_slots`].
     pub fn shared_bpts(&self, other: &BptStore) -> usize {
-        self.map
+        self.chunks
             .iter()
-            .filter(|(id, bpt)| other.map.get(id).is_some_and(|o| Arc::ptr_eq(bpt, o)))
+            .zip(&other.chunks)
+            .map(|(a, b)| {
+                if Arc::ptr_eq(a, b) {
+                    a.len()
+                } else {
+                    a.iter()
+                        .zip(b.iter())
+                        .filter(|(x, y)| Arc::ptr_eq(x, y))
+                        .count()
+                }
+            })
+            .sum()
+    }
+
+    /// Number of store segments (denominator for
+    /// [`shared_chunks`](BptStore::shared_chunks)).
+    pub fn chunk_count(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// How many whole segments `self` physically shares with `other` — the
+    /// pointer-table analogue of [`BptStore::shared_bpts`].
+    pub fn shared_chunks(&self, other: &BptStore) -> usize {
+        self.chunks
+            .iter()
+            .zip(&other.chunks)
+            .filter(|(a, b)| Arc::ptr_eq(a, b))
             .count()
     }
 }

@@ -104,6 +104,13 @@ pub struct AccessLog {
 }
 
 impl AccessLog {
+    /// Resets the log for reuse, keeping the map's allocation — pairs with
+    /// [`EngineScratch`] so a query loop re-traces without reallocating.
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+        self.confirmed.clear();
+    }
+
     /// The covering-antichain frontier for one node: touched cells minus
     /// expanded super entries.
     pub fn frontier(&self, node: NodeId) -> Vec<crate::bpt::Code> {
@@ -174,6 +181,7 @@ pub struct Outcome {
 // Priority queue plumbing
 // ---------------------------------------------------------------------
 
+#[derive(Clone)]
 struct PqItem<T> {
     key: f64,
     seq: u64,
@@ -206,22 +214,68 @@ impl<T> Ord for PqItem<T> {
 // Entry points
 // ---------------------------------------------------------------------
 
+/// Reusable engine buffers: the best-first priority queues and the
+/// missing/blocked staging vectors of Algorithm 1. One per query session —
+/// [`execute_with`]/[`resume_with`] clear and refill it, so a steady-state
+/// loop (a fleet client issuing thousands of cache-complete queries)
+/// allocates only its result vector per query. Queries that end in a
+/// remainder hand their staging buffers to the [`RemainderQuery`] (the
+/// remainder is serialized for the wire anyway, so that path allocates
+/// regardless).
+#[derive(Clone, Default)]
+pub struct EngineScratch {
+    single_pq: BinaryHeap<PqItem<Side>>,
+    join_pq: BinaryHeap<PqItem<(Side, Side)>>,
+    missing: Vec<(f64, Side)>,
+    blocked: Vec<(f64, Side)>,
+    join_missing: Vec<(f64, HeapEntry)>,
+}
+
+impl std::fmt::Debug for EngineScratch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineScratch")
+            .field("single_pq_cap", &self.single_pq.capacity())
+            .field("join_pq_cap", &self.join_pq.capacity())
+            .finish_non_exhaustive()
+    }
+}
+
 /// Runs a fresh query from the root.
 pub fn execute<V: IndexView, T: Tracer>(view: &V, spec: &QuerySpec, tracer: &mut T) -> Outcome {
+    execute_with(view, spec, tracer, &mut EngineScratch::default())
+}
+
+/// [`execute`] with caller-owned [`EngineScratch`] buffers.
+pub fn execute_with<V: IndexView, T: Tracer>(
+    view: &V,
+    spec: &QuerySpec,
+    tracer: &mut T,
+    scratch: &mut EngineScratch,
+) -> Outcome {
     if spec.is_join() {
-        run_join(view, spec, None, tracer)
+        run_join(view, spec, None, tracer, scratch)
     } else {
-        run_single(view, spec, None, tracer)
+        run_single(view, spec, None, tracer, scratch)
     }
 }
 
 /// Resumes a remainder query from its shipped heap (server side of §3.2
 /// stage 2; also usable by a client that re-runs after a cache refill).
 pub fn resume<V: IndexView, T: Tracer>(view: &V, rq: &RemainderQuery, tracer: &mut T) -> Outcome {
+    resume_with(view, rq, tracer, &mut EngineScratch::default())
+}
+
+/// [`resume`] with caller-owned [`EngineScratch`] buffers.
+pub fn resume_with<V: IndexView, T: Tracer>(
+    view: &V,
+    rq: &RemainderQuery,
+    tracer: &mut T,
+    scratch: &mut EngineScratch,
+) -> Outcome {
     if rq.spec.is_join() {
-        run_join(view, &rq.spec, Some(rq), tracer)
+        run_join(view, &rq.spec, Some(rq), tracer, scratch)
     } else {
-        run_single(view, &rq.spec, Some(rq), tracer)
+        run_single(view, &rq.spec, Some(rq), tracer, scratch)
     }
 }
 
@@ -234,8 +288,12 @@ fn run_single<V: IndexView, T: Tracer>(
     spec: &QuerySpec,
     resume_from: Option<&RemainderQuery>,
     tracer: &mut T,
+    scratch: &mut EngineScratch,
 ) -> Outcome {
-    let mut pq: BinaryHeap<PqItem<Side>> = BinaryHeap::new();
+    let pq = &mut scratch.single_pq;
+    pq.clear();
+    scratch.missing.clear();
+    scratch.blocked.clear();
     let mut seq = 0u64;
     let m0 = resume_from.map(|r| r.already_found as usize).unwrap_or(0);
     let k_target = match spec {
@@ -275,8 +333,8 @@ fn run_single<V: IndexView, T: Tracer>(
     }
 
     let mut results: Vec<(ObjectId, bool)> = Vec::new();
-    let mut missing: Vec<(f64, Side)> = Vec::new();
-    let mut blocked: Vec<(f64, Side)> = Vec::new();
+    let missing = &mut scratch.missing;
+    let blocked = &mut scratch.blocked;
     let mut missing_leaf_count = 0usize;
     let mut min_missing_cell_key = f64::INFINITY;
     let mut expansions = 0u64;
@@ -362,8 +420,8 @@ fn run_single<V: IndexView, T: Tracer>(
     let needs_remainder = !missing.is_empty() || !blocked.is_empty();
     let remainder = needs_remainder.then(|| {
         let mut heap: Vec<(f64, HeapEntry)> = Vec::with_capacity(missing.len() + blocked.len());
-        heap.extend(missing.into_iter().map(|(k, s)| (k, HeapEntry::Single(s))));
-        heap.extend(blocked.into_iter().map(|(k, s)| (k, HeapEntry::Single(s))));
+        heap.extend(missing.drain(..).map(|(k, s)| (k, HeapEntry::Single(s))));
+        heap.extend(blocked.drain(..).map(|(k, s)| (k, HeapEntry::Single(s))));
         while let Some(item) = pq.pop() {
             heap.push((item.key, HeapEntry::Single(item.payload)));
         }
@@ -376,6 +434,9 @@ fn run_single<V: IndexView, T: Tracer>(
             heap,
         }
     });
+    // kNN can terminate with frontier left over; drop it so the next query
+    // through this scratch starts clean.
+    pq.clear();
 
     Outcome {
         results,
@@ -430,12 +491,15 @@ fn run_join<V: IndexView, T: Tracer>(
     spec: &QuerySpec,
     resume_from: Option<&RemainderQuery>,
     tracer: &mut T,
+    scratch: &mut EngineScratch,
 ) -> Outcome {
     let QuerySpec::Join { dist } = *spec else {
         unreachable!("run_join requires a join spec")
     };
 
-    let mut pq: BinaryHeap<PqItem<(Side, Side)>> = BinaryHeap::new();
+    let pq = &mut scratch.join_pq;
+    pq.clear();
+    scratch.join_missing.clear();
     let mut seq = 0u64;
 
     match resume_from {
@@ -474,7 +538,7 @@ fn run_join<V: IndexView, T: Tracer>(
     let mut result_pairs: Vec<(ObjectId, ObjectId)> = Vec::new();
     let mut obj_flags: HashMap<ObjectId, bool> = HashMap::new();
     let mut obj_order: Vec<ObjectId> = Vec::new();
-    let mut missing: Vec<(f64, HeapEntry)> = Vec::new();
+    let missing = &mut scratch.join_missing;
     let mut expansions = 0u64;
 
     while let Some(item) = pq.pop() {
@@ -551,10 +615,10 @@ fn run_join<V: IndexView, T: Tracer>(
         }
     }
 
-    let remainder = (!missing.is_empty()).then_some(RemainderQuery {
+    let remainder = (!missing.is_empty()).then(|| RemainderQuery {
         spec: *spec,
         already_found: 0,
-        heap: missing,
+        heap: std::mem::take(missing),
     });
 
     Outcome {

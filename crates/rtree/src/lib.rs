@@ -32,7 +32,7 @@ mod proptests;
 
 use pc_geom::Rect;
 
-pub use tree::{RTree, RTreeConfig, TreeStats};
+pub use tree::{RTree, RTreeConfig, TreeStats, NODE_CHUNK_LEN};
 
 /// Identifier of a data object. Objects are numbered densely from zero so
 /// stores can be plain vectors.
@@ -82,18 +82,186 @@ pub struct Entry {
 }
 
 /// An R-tree node. `level == 0` means leaf (entries point at objects).
-#[derive(Clone, Debug)]
+///
+/// Entries are stored **struct-of-arrays**: the four MBR coordinates live in
+/// parallel `f64` columns (`min_x`/`min_y`/`max_x`/`max_y`) beside a child
+/// pointer column, instead of an array of [`Entry`] structs. The query hot
+/// path (window qualification, `MINDIST` for kNN, rect-pair pruning for the
+/// distance join) then scans contiguous same-type lanes the compiler can
+/// keep in cache and autovectorize, rather than striding over 40-byte
+/// records. [`Entry`] survives as a cheap by-value *view*: [`Node::entry`]
+/// and the [`Node::entries`] iterator materialize one on demand, so
+/// structural code (splits, condense, shipping forms) keeps its shape.
+#[derive(Clone, Debug, Default)]
 pub struct Node {
     pub parent: Option<NodeId>,
     pub level: u16,
-    pub entries: Vec<Entry>,
+    min_x: Vec<f64>,
+    min_y: Vec<f64>,
+    max_x: Vec<f64>,
+    max_y: Vec<f64>,
+    children: Vec<ChildRef>,
 }
 
 impl Node {
+    /// An empty node at `level` (entries arrive via [`Node::push`]).
+    pub fn new(parent: Option<NodeId>, level: u16) -> Self {
+        Node {
+            parent,
+            level,
+            min_x: Vec::new(),
+            min_y: Vec::new(),
+            max_x: Vec::new(),
+            max_y: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+
+    /// A node populated from an entry sequence.
+    pub fn with_entries(
+        parent: Option<NodeId>,
+        level: u16,
+        entries: impl IntoIterator<Item = Entry>,
+    ) -> Self {
+        let mut node = Node::new(parent, level);
+        for e in entries {
+            node.push(e);
+        }
+        node
+    }
+
+    /// Number of entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.children.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.children.is_empty()
+    }
+
+    /// The entry at `i`, materialized by value from the columns.
+    #[inline]
+    pub fn entry(&self, i: usize) -> Entry {
+        Entry {
+            mbr: self.mbr_at(i),
+            child: self.children[i],
+        }
+    }
+
+    /// The MBR column values at `i`, re-assembled into a [`Rect`].
+    #[inline]
+    pub fn mbr_at(&self, i: usize) -> Rect {
+        Rect::from_coords(self.min_x[i], self.min_y[i], self.max_x[i], self.max_y[i])
+    }
+
+    #[inline]
+    pub fn child_at(&self, i: usize) -> ChildRef {
+        self.children[i]
+    }
+
+    /// The child pointer column.
+    #[inline]
+    pub fn children(&self) -> &[ChildRef] {
+        &self.children
+    }
+
+    /// The raw MBR columns `(min_x, min_y, max_x, max_y)` — the lanes the
+    /// iterative kernels in [`crate::query`] scan directly.
+    #[inline]
+    pub fn mbr_cols(&self) -> (&[f64], &[f64], &[f64], &[f64]) {
+        (&self.min_x, &self.min_y, &self.max_x, &self.max_y)
+    }
+
+    /// Iterates the entries as by-value [`Entry`] views.
+    pub fn entries(&self) -> impl ExactSizeIterator<Item = Entry> + '_ {
+        (0..self.len()).map(move |i| self.entry(i))
+    }
+
+    /// Appends one entry (splitting across the columns).
+    pub fn push(&mut self, e: Entry) {
+        self.min_x.push(e.mbr.min.x);
+        self.min_y.push(e.mbr.min.y);
+        self.max_x.push(e.mbr.max.x);
+        self.max_y.push(e.mbr.max.y);
+        self.children.push(e.child);
+    }
+
+    /// Overwrites the MBR at `i`, keeping the child pointer.
+    pub fn set_mbr_at(&mut self, i: usize, mbr: Rect) {
+        self.min_x[i] = mbr.min.x;
+        self.min_y[i] = mbr.min.y;
+        self.max_x[i] = mbr.max.x;
+        self.max_y[i] = mbr.max.y;
+    }
+
+    /// Keeps only the entries `keep` accepts (in-place column compaction,
+    /// preserving order — the SoA analogue of `Vec::retain`).
+    pub fn retain_entries(&mut self, mut keep: impl FnMut(&Entry) -> bool) {
+        let mut w = 0;
+        for i in 0..self.children.len() {
+            if keep(&self.entry(i)) {
+                if w != i {
+                    self.min_x[w] = self.min_x[i];
+                    self.min_y[w] = self.min_y[i];
+                    self.max_x[w] = self.max_x[i];
+                    self.max_y[w] = self.max_y[i];
+                    self.children[w] = self.children[i];
+                }
+                w += 1;
+            }
+        }
+        self.truncate(w);
+    }
+
+    fn truncate(&mut self, len: usize) {
+        self.min_x.truncate(len);
+        self.min_y.truncate(len);
+        self.max_x.truncate(len);
+        self.max_y.truncate(len);
+        self.children.truncate(len);
+    }
+
+    /// Drains every entry out as a `Vec<Entry>` (split/condense staging:
+    /// these paths shuffle whole entry sets, where AoS is the natural form).
+    pub fn take_entries(&mut self) -> Vec<Entry> {
+        let out: Vec<Entry> = self.entries().collect();
+        self.clear_entries();
+        out
+    }
+
+    /// Replaces the entry set wholesale.
+    pub fn set_entries(&mut self, entries: impl IntoIterator<Item = Entry>) {
+        self.clear_entries();
+        for e in entries {
+            self.push(e);
+        }
+    }
+
+    pub fn clear_entries(&mut self) {
+        self.truncate(0);
+    }
+
     /// MBR covering all entries (`None` for an empty node, which only occurs
-    /// transiently during splits).
+    /// transiently during splits). A single pass over the four columns.
     pub fn mbr(&self) -> Option<Rect> {
-        Rect::union_all(self.entries.iter().map(|e| e.mbr))
+        if self.children.is_empty() {
+            return None;
+        }
+        let (mut x0, mut y0, mut x1, mut y1) = (
+            f64::INFINITY,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::NEG_INFINITY,
+        );
+        for i in 0..self.children.len() {
+            x0 = x0.min(self.min_x[i]);
+            y0 = y0.min(self.min_y[i]);
+            x1 = x1.max(self.max_x[i]);
+            y1 = y1.max(self.max_y[i]);
+        }
+        Some(Rect::from_coords(x0, y0, x1, y1))
     }
 
     pub fn is_leaf(&self) -> bool {
@@ -298,10 +466,10 @@ mod lib_tests {
 
     #[test]
     fn node_mbr_unions_entries() {
-        let node = Node {
-            parent: None,
-            level: 0,
-            entries: vec![
+        let node = Node::with_entries(
+            None,
+            0,
+            [
                 Entry {
                     mbr: Rect::from_coords(0.0, 0.0, 0.2, 0.2),
                     child: ChildRef::Object(ObjectId(0)),
@@ -311,8 +479,45 @@ mod lib_tests {
                     child: ChildRef::Object(ObjectId(1)),
                 },
             ],
-        };
+        );
         assert_eq!(node.mbr().unwrap(), Rect::from_coords(0.0, 0.0, 0.9, 0.6));
         assert!(node.is_leaf());
+    }
+
+    #[test]
+    fn node_soa_columns_round_trip_entries() {
+        let entries = [
+            Entry {
+                mbr: Rect::from_coords(0.1, 0.2, 0.3, 0.4),
+                child: ChildRef::Node(NodeId(7)),
+            },
+            Entry {
+                mbr: Rect::from_coords(0.5, 0.6, 0.7, 0.8),
+                child: ChildRef::Object(ObjectId(9)),
+            },
+        ];
+        let mut node = Node::with_entries(Some(NodeId(3)), 2, entries);
+        assert_eq!(node.len(), 2);
+        assert_eq!(node.entry(0), entries[0]);
+        assert_eq!(node.entry(1), entries[1]);
+        let collected: Vec<Entry> = node.entries().collect();
+        assert_eq!(collected, entries);
+        let (min_x, min_y, max_x, max_y) = node.mbr_cols();
+        assert_eq!(
+            (min_x[1], min_y[1], max_x[1], max_y[1]),
+            (0.5, 0.6, 0.7, 0.8)
+        );
+        assert_eq!(node.children(), &[entries[0].child, entries[1].child]);
+
+        node.set_mbr_at(0, Rect::from_coords(0.0, 0.0, 0.05, 0.05));
+        assert_eq!(node.mbr_at(0), Rect::from_coords(0.0, 0.0, 0.05, 0.05));
+        node.retain_entries(|e| matches!(e.child, ChildRef::Object(_)));
+        assert_eq!(node.len(), 1);
+        assert_eq!(node.entry(0), entries[1]);
+        let taken = node.take_entries();
+        assert_eq!(taken, vec![entries[1]]);
+        assert!(node.is_empty());
+        node.set_entries(taken);
+        assert_eq!(node.len(), 1);
     }
 }

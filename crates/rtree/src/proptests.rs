@@ -296,6 +296,132 @@ proptest! {
     }
 
     #[test]
+    fn iterative_kernels_match_oracles_after_arbitrary_updates(
+        objects in arb_objects(100),
+        ops in prop::collection::vec(
+            (any::<bool>(), 0u32..200, 0.0f64..1.0, 0.0f64..1.0), 0..40),
+        cx in 0.0f64..1.0, cy in 0.0f64..1.0,
+        side in 0.02f64..0.5, k in 1usize..10, dist in 0.0f64..0.08,
+    ) {
+        // The SoA iterative kernels must stay result-identical — ordering,
+        // distances and tie-breaks included — to the recursive baseline and
+        // to brute force, on trees shaped by arbitrary update sequences,
+        // with a single `QueryScratch` reused across all three query kinds.
+        let mut tree = RTree::bulk_load(RTreeConfig::small(), &objects);
+        let mut live = objects.clone();
+        let mut next_id = objects.len() as u32;
+        for (insert, pick, x, y) in ops {
+            if insert {
+                let o = SpatialObject {
+                    id: ObjectId(next_id),
+                    mbr: Rect::from_point(Point::new(x, y)),
+                    size_bytes: 64,
+                };
+                next_id += 1;
+                tree.insert(&o);
+                live.push(o);
+            } else if !live.is_empty() {
+                let o = live.swap_remove(pick as usize % live.len());
+                prop_assert!(tree.delete(o.id, &o.mbr));
+            }
+        }
+        tree.validate(live.len(), false).unwrap();
+        let mut scratch = query::QueryScratch::default();
+
+        let w = Rect::centered_square(Point::new(cx, cy), side);
+        let mut ids = Vec::new();
+        query::range_query_with(&tree, &w, &mut scratch, &mut ids);
+        ids.sort_unstable();
+        // Traversal order differs (LIFO stack vs recursion) but the result
+        // set must match the recursive baseline exactly.
+        let mut rec = query::baseline::range_query(&tree, &w);
+        rec.sort_unstable();
+        prop_assert_eq!(&ids, &rec);
+        let mut want: Vec<ObjectId> =
+            live.iter().filter(|o| w.intersects(&o.mbr)).map(|o| o.id).collect();
+        want.sort_unstable();
+        prop_assert_eq!(&ids, &want);
+
+        let p = Point::new(cx, cy);
+        let mut knn = Vec::new();
+        query::knn_query_with(&tree, &p, k, &mut scratch, &mut knn);
+        prop_assert_eq!(&knn, &query::baseline::knn_query(&tree, &p, k));
+        let mut brute: Vec<(f64, ObjectId)> =
+            live.iter().map(|o| (o.mbr.min_dist(&p), o.id)).collect();
+        brute.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        prop_assert_eq!(knn.len(), k.min(live.len()));
+        for (g, b) in knn.iter().zip(&brute) {
+            prop_assert!((g.1 - b.0).abs() < 1e-12);
+        }
+
+        let mut pairs = Vec::new();
+        query::distance_self_join_with(&tree, dist, &mut scratch, &mut pairs);
+        prop_assert_eq!(&pairs, &query::baseline::distance_self_join(&tree, dist));
+        let mut want_pairs = Vec::new();
+        for (i, a) in live.iter().enumerate() {
+            for b in &live[i + 1..] {
+                if a.mbr.min_dist_rect(&b.mbr) <= dist {
+                    let (lo, hi) = if a.id < b.id { (a.id, b.id) } else { (b.id, a.id) };
+                    want_pairs.push((lo, hi));
+                }
+            }
+        }
+        want_pairs.sort_unstable();
+        prop_assert_eq!(pairs, want_pairs);
+    }
+
+    #[test]
+    fn chunked_slab_clones_share_and_stay_immutable(
+        objects in arb_objects(120),
+        ops in prop::collection::vec(
+            (any::<bool>(), 0u32..200, 0.0f64..1.0, 0.0f64..1.0), 1..24),
+    ) {
+        // A cloned tree/BPT store is a persistent snapshot: the clone shares
+        // *every* chunk and slot with the original, later updates to the
+        // working copy copy at most the slots they dirty (plus their chunk
+        // spines), and the snapshot's query results never change.
+        let mut tree = RTree::bulk_load(RTreeConfig::small(), &objects);
+        let bpts = BptStore::build(&tree);
+        let base = tree.clone();
+        let base_bpts = bpts.clone();
+        prop_assert_eq!(base.shared_node_slots(&tree), tree.slab_len());
+        prop_assert_eq!(base.shared_node_chunks(&tree), tree.node_chunk_count());
+        prop_assert_eq!(base_bpts.shared_bpts(&bpts), bpts.node_count());
+        prop_assert_eq!(base_bpts.shared_chunks(&bpts), bpts.chunk_count());
+
+        let before = query::range_query(&base, &Rect::UNIT);
+        let mut live = objects.clone();
+        let mut next_id = objects.len() as u32;
+        for (insert, pick, x, y) in ops {
+            if insert {
+                let o = SpatialObject {
+                    id: ObjectId(next_id),
+                    mbr: Rect::from_point(Point::new(x, y)),
+                    size_bytes: 64,
+                };
+                next_id += 1;
+                tree.insert(&o);
+                live.push(o);
+            } else if !live.is_empty() {
+                let o = live.swap_remove(pick as usize % live.len());
+                prop_assert!(tree.delete(o.id, &o.mbr));
+            }
+        }
+
+        // Accounting stays consistent: every copied chunk spine is explained
+        // by a dirtied slot in it, except the tail chunk which growth alone
+        // can clone.
+        let copied_slots = base.slab_len() - base.shared_node_slots(&tree);
+        let copied_chunks = base.node_chunk_count() - base.shared_node_chunks(&tree);
+        prop_assert!(copied_chunks <= copied_slots + 1);
+
+        // The snapshot is untouched by everything above.
+        base.validate(objects.len(), false).unwrap();
+        prop_assert_eq!(query::range_query(&base, &Rect::UNIT), before);
+        prop_assert_eq!(base_bpts.shared_bpts(&bpts), bpts.node_count());
+    }
+
+    #[test]
     fn bpt_codes_are_navigable(objects in arb_objects(100)) {
         let (_, tree, bpts) = build(&objects);
         for id in tree.node_ids() {

@@ -60,18 +60,29 @@ pub struct TreeStats {
     pub index_bytes: u64,
 }
 
+/// Node slots per slab segment (power of two so indexing is a shift+mask,
+/// mirroring the object store's segmentation).
+const NODE_CHUNK_SHIFT: u32 = 10;
+/// Segment capacity derived from the shift.
+pub const NODE_CHUNK_LEN: usize = 1 << NODE_CHUNK_SHIFT;
+
 /// A two-dimensional R*-tree over [`SpatialObject`]s.
 ///
-/// Node slots are `Arc`-per-node copy-on-write: cloning a tree clones only
-/// the slab of pointers (refcount bumps), and a mutation after a clone
-/// copies just the nodes it actually touches ([`Arc::make_mut`]), leaving
-/// everything else structurally shared between the two trees. This is what
-/// makes an epoch publish in `pc_server` cost O(batch · depth) node copies
-/// instead of a deep clone of the whole index.
+/// Node slots are `Arc`-per-node copy-on-write, and the slab itself is
+/// segmented into [`NODE_CHUNK_LEN`]-slot `Arc` chunks: cloning a tree
+/// clones only the segment pointer table (`len/1024` refcount bumps), and a
+/// mutation after a clone copies the one segment the slot lives in (1024
+/// pointer bumps) plus the node it actually touches ([`Arc::make_mut`]
+/// twice), leaving everything else structurally shared between the two
+/// trees. This is what makes an epoch publish in `pc_server` cost
+/// O(batch · depth) node copies — *including* the pointer table, which a
+/// flat `Vec<Arc<Node>>` slab would re-clone in full (O(nodes)) per epoch.
 #[derive(Clone, Debug)]
 pub struct RTree {
     cfg: RTreeConfig,
-    nodes: Vec<Arc<Node>>,
+    /// Chunked slab: segment table → 1024 `Arc<Node>` slots per segment.
+    nodes: Vec<Arc<Vec<Arc<Node>>>>,
+    node_len: usize,
     root: NodeId,
     /// Number of levels; the root sits at `height - 1`, leaves at 0.
     height: u16,
@@ -85,18 +96,36 @@ pub struct RTree {
 impl RTree {
     /// An empty tree (a single empty leaf as root).
     pub fn new(cfg: RTreeConfig) -> Self {
+        let mut tree = RTree::hollow(cfg);
+        tree.push_node(Node::new(None, 0));
+        tree.height = 1;
+        tree
+    }
+
+    /// A tree with no nodes at all — internal staging for the builders.
+    fn hollow(cfg: RTreeConfig) -> Self {
         RTree {
             cfg,
-            nodes: vec![Arc::new(Node {
-                parent: None,
-                level: 0,
-                entries: Vec::new(),
-            })],
+            nodes: Vec::new(),
+            node_len: 0,
             root: NodeId(0),
-            height: 1,
+            height: 0,
             object_count: 0,
             dirty: Vec::new(),
         }
+    }
+
+    /// Appends a node to the slab, growing a fresh segment at chunk
+    /// boundaries, and returns its id.
+    fn push_node(&mut self, node: Node) -> NodeId {
+        if self.node_len.is_multiple_of(NODE_CHUNK_LEN) {
+            self.nodes
+                .push(Arc::new(Vec::with_capacity(NODE_CHUNK_LEN)));
+        }
+        Arc::make_mut(self.nodes.last_mut().expect("segment just ensured")).push(Arc::new(node));
+        let id = NodeId(self.node_len as u32);
+        self.node_len += 1;
+        id
     }
 
     /// Bulk loads with Sort-Tile-Recursive packing — the standard way to
@@ -105,14 +134,8 @@ impl RTree {
         if objects.is_empty() {
             return RTree::new(cfg);
         }
-        let mut tree = RTree {
-            cfg,
-            nodes: Vec::new(),
-            root: NodeId(0),
-            height: 0,
-            object_count: objects.len(),
-            dirty: Vec::new(),
-        };
+        let mut tree = RTree::hollow(cfg);
+        tree.object_count = objects.len();
 
         // Level 0.
         let leaf_items: Vec<(Rect, ChildRef)> = objects
@@ -127,9 +150,7 @@ impl RTree {
             let items: Vec<(Rect, ChildRef)> = level_nodes
                 .iter()
                 .map(|&id| {
-                    let mbr = tree.nodes[id.0 as usize]
-                        .mbr()
-                        .expect("packed node non-empty");
+                    let mbr = tree.node(id).mbr().expect("packed node non-empty");
                     (mbr, ChildRef::Node(id))
                 })
                 .collect();
@@ -158,29 +179,26 @@ impl RTree {
         for slab in items.chunks_mut(slab_size.max(1)) {
             slab.sort_by(|a, b| a.0.center().y.partial_cmp(&b.0.center().y).unwrap());
             for tile in slab.chunks(cap) {
-                let id = NodeId(self.nodes.len() as u32);
-                self.nodes.push(Arc::new(Node {
-                    parent: None,
+                let node = Node::with_entries(
+                    None,
                     level,
-                    entries: tile
-                        .iter()
-                        .map(|&(mbr, child)| Entry { mbr, child })
-                        .collect(),
-                }));
-                out.push(id);
+                    tile.iter().map(|&(mbr, child)| Entry { mbr, child }),
+                );
+                out.push(self.push_node(node));
             }
         }
         out
     }
 
     fn rewire_parents(&mut self) {
-        let ids: Vec<NodeId> = (0..self.nodes.len() as u32).map(NodeId).collect();
+        let ids: Vec<NodeId> = (0..self.node_len as u32).map(NodeId).collect();
         for id in ids {
-            let children: Vec<NodeId> = self.nodes[id.0 as usize]
-                .entries
+            let children: Vec<NodeId> = self
+                .node(id)
+                .children()
                 .iter()
-                .filter_map(|e| match e.child {
-                    ChildRef::Node(c) => Some(c),
+                .filter_map(|c| match c {
+                    ChildRef::Node(c) => Some(*c),
                     ChildRef::Object(_) => None,
                 })
                 .collect();
@@ -198,21 +216,26 @@ impl RTree {
 
     #[inline]
     pub fn node(&self, id: NodeId) -> &Node {
-        &self.nodes[id.0 as usize]
+        let i = id.0 as usize;
+        &self.nodes[i >> NODE_CHUNK_SHIFT][i & (NODE_CHUNK_LEN - 1)]
     }
 
-    /// Mutable access to one node slot, copying it first when the slot is
-    /// shared with a cloned tree (the copy-on-write seam: everything that
-    /// edits a node funnels through here).
+    /// Mutable access to one node slot, copying the segment and then the
+    /// node when either is shared with a cloned tree (the copy-on-write
+    /// seam: everything that edits a node funnels through here). The
+    /// segment copy is 1024 pointer bumps; slot-level sharing inside the
+    /// copied segment is preserved.
     #[inline]
     fn node_mut(&mut self, id: NodeId) -> &mut Node {
-        Arc::make_mut(&mut self.nodes[id.0 as usize])
+        let i = id.0 as usize;
+        let chunk = Arc::make_mut(&mut self.nodes[i >> NODE_CHUNK_SHIFT]);
+        Arc::make_mut(&mut chunk[i & (NODE_CHUNK_LEN - 1)])
     }
 
     /// Number of slab slots (reachable nodes plus detached husks) — the
     /// denominator for [`RTree::shared_node_slots`].
     pub fn slab_len(&self) -> usize {
-        self.nodes.len()
+        self.node_len
     }
 
     /// How many node slots `self` physically shares with `other` (same
@@ -220,6 +243,34 @@ impl RTree {
     /// structural-sharing guarantees: after cloning a tree and applying a
     /// small update batch, all but the touched spines stay shared.
     pub fn shared_node_slots(&self, other: &RTree) -> usize {
+        self.nodes
+            .iter()
+            .zip(&other.nodes)
+            .map(|(a, b)| {
+                if Arc::ptr_eq(a, b) {
+                    // Same segment allocation → every slot in it is shared.
+                    a.len()
+                } else {
+                    a.iter()
+                        .zip(b.iter())
+                        .filter(|(x, y)| Arc::ptr_eq(x, y))
+                        .count()
+                }
+            })
+            .sum()
+    }
+
+    /// Number of slab segments (denominator for
+    /// [`shared_node_chunks`](RTree::shared_node_chunks)).
+    pub fn node_chunk_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// How many whole slab segments `self` physically shares with `other`
+    /// — the pointer-table analogue of [`RTree::shared_node_slots`]. A
+    /// publish that edits `k` spines copies at most `k · depth` segments,
+    /// independent of the dataset size.
+    pub fn shared_node_chunks(&self, other: &RTree) -> usize {
         self.nodes
             .iter()
             .zip(&other.nodes)
@@ -259,9 +310,9 @@ impl RTree {
         let mut stack = vec![self.root];
         while let Some(id) = stack.pop() {
             out.push(id);
-            for e in &self.node(id).entries {
-                if let ChildRef::Node(c) = e.child {
-                    stack.push(c);
+            for c in self.node(id).children() {
+                if let ChildRef::Node(c) = c {
+                    stack.push(*c);
                 }
             }
         }
@@ -320,7 +371,7 @@ impl RTree {
         if let ChildRef::Node(c) = entry.child {
             self.node_mut(c).parent = Some(target);
         }
-        self.node_mut(target).entries.push(entry);
+        self.node_mut(target).push(entry);
         self.mark_dirty(target);
         self.adjust_upward(target);
         self.handle_overflow(target, reinserted);
@@ -346,7 +397,7 @@ impl RTree {
 
     fn choose_min_enlargement(&self, node: &Node, mbr: &Rect) -> NodeId {
         let mut best = (f64::INFINITY, f64::INFINITY, NodeId(u32::MAX));
-        for e in &node.entries {
+        for e in node.entries() {
             let enl = e.mbr.enlargement(mbr);
             let area = e.mbr.area();
             if (enl, area) < (best.0, best.1) {
@@ -363,13 +414,12 @@ impl RTree {
     /// least when absorbing `mbr`.
     fn choose_min_overlap(&self, node: &Node, mbr: &Rect) -> NodeId {
         const CANDIDATES: usize = 32;
-        let mut idx: Vec<usize> = (0..node.entries.len()).collect();
+        let mut idx: Vec<usize> = (0..node.len()).collect();
         if idx.len() > CANDIDATES {
             idx.sort_by(|&a, &b| {
-                node.entries[a]
-                    .mbr
+                node.mbr_at(a)
                     .enlargement(mbr)
-                    .partial_cmp(&node.entries[b].mbr.enlargement(mbr))
+                    .partial_cmp(&node.mbr_at(b).enlargement(mbr))
                     .unwrap()
             });
             idx.truncate(CANDIDATES);
@@ -381,19 +431,20 @@ impl RTree {
             NodeId(u32::MAX),
         );
         for &i in &idx {
-            let cand = &node.entries[i];
-            let grown = cand.mbr.union(mbr);
+            let cand = node.mbr_at(i);
+            let grown = cand.union(mbr);
             let mut overlap_delta = 0.0;
-            for (j, other) in node.entries.iter().enumerate() {
+            for j in 0..node.len() {
                 if j == i {
                     continue;
                 }
-                overlap_delta += grown.overlap_area(&other.mbr) - cand.mbr.overlap_area(&other.mbr);
+                let other = node.mbr_at(j);
+                overlap_delta += grown.overlap_area(&other) - cand.overlap_area(&other);
             }
-            let enl = cand.mbr.enlargement(mbr);
-            let area = cand.mbr.area();
+            let enl = cand.enlargement(mbr);
+            let area = cand.area();
             if (overlap_delta, enl, area) < (best.0, best.1, best.2) {
-                if let ChildRef::Node(c) = cand.child {
+                if let ChildRef::Node(c) = node.child_at(i) {
                     best = (overlap_delta, enl, area, c);
                 }
             }
@@ -403,7 +454,7 @@ impl RTree {
 
     fn handle_overflow(&mut self, mut id: NodeId, reinserted: &mut Vec<bool>) {
         loop {
-            if self.node(id).entries.len() <= self.cfg.max_entries {
+            if self.node(id).len() <= self.cfg.max_entries {
                 return;
             }
             let level = self.node(id).level as usize;
@@ -434,8 +485,10 @@ impl RTree {
             .mbr()
             .expect("overflowing node non-empty")
             .center();
-        let node = Arc::make_mut(&mut self.nodes[id.0 as usize]);
-        node.entries.sort_by(|a, b| {
+        let (reinsert_count, min_entries) = (self.cfg.reinsert_count, self.cfg.min_entries);
+        let node = self.node_mut(id);
+        let mut entries = node.take_entries();
+        entries.sort_by(|a, b| {
             // Descending distance: farthest first at the front.
             b.mbr
                 .center()
@@ -443,11 +496,9 @@ impl RTree {
                 .partial_cmp(&a.mbr.center().dist(&center))
                 .unwrap()
         });
-        let count = self
-            .cfg
-            .reinsert_count
-            .min(node.entries.len() - self.cfg.min_entries);
-        let removed: Vec<Entry> = node.entries.drain(..count).collect();
+        let count = reinsert_count.min(entries.len() - min_entries);
+        let removed: Vec<Entry> = entries.drain(..count).collect();
+        node.set_entries(entries);
         let level = node.level;
         self.mark_dirty(id);
         self.adjust_upward(id);
@@ -460,26 +511,23 @@ impl RTree {
     /// or `None` when a new root was created.
     fn split_node(&mut self, id: NodeId) -> Option<NodeId> {
         let level = self.node(id).level;
-        let entries = std::mem::take(&mut self.node_mut(id).entries);
+        let entries = self.node_mut(id).take_entries();
         let rects: Vec<Rect> = entries.iter().map(|e| e.mbr).collect();
         let (left_idx, right_idx) = rstar_split(&rects, self.cfg.min_entries);
 
         let left_entries: Vec<Entry> = left_idx.iter().map(|&i| entries[i]).collect();
         let right_entries: Vec<Entry> = right_idx.iter().map(|&i| entries[i]).collect();
 
-        self.node_mut(id).entries = left_entries;
-        let sibling = NodeId(self.nodes.len() as u32);
-        self.nodes.push(Arc::new(Node {
-            parent: self.node(id).parent,
-            level,
-            entries: right_entries,
-        }));
+        self.node_mut(id).set_entries(left_entries);
+        let sibling_node = Node::with_entries(self.node(id).parent, level, right_entries);
+        let sibling = self.push_node(sibling_node);
         // Children moved to the sibling need their parent pointer fixed.
-        let moved: Vec<NodeId> = self.nodes[sibling.0 as usize]
-            .entries
+        let moved: Vec<NodeId> = self
+            .node(sibling)
+            .children()
             .iter()
-            .filter_map(|e| match e.child {
-                ChildRef::Node(c) => Some(c),
+            .filter_map(|c| match c {
+                ChildRef::Node(c) => Some(*c),
                 ChildRef::Object(_) => None,
             })
             .collect();
@@ -493,7 +541,7 @@ impl RTree {
         match self.node(id).parent {
             Some(p) => {
                 self.refresh_parent_entry(id);
-                self.node_mut(p).entries.push(Entry {
+                self.node_mut(p).push(Entry {
                     mbr: sibling_mbr,
                     child: ChildRef::Node(sibling),
                 });
@@ -504,11 +552,10 @@ impl RTree {
             None => {
                 // Root split: grow the tree by one level.
                 let old_root_mbr = self.node(id).mbr().expect("split side non-empty");
-                let new_root = NodeId(self.nodes.len() as u32);
-                self.nodes.push(Arc::new(Node {
-                    parent: None,
-                    level: level + 1,
-                    entries: vec![
+                let new_root = self.push_node(Node::with_entries(
+                    None,
+                    level + 1,
+                    [
                         Entry {
                             mbr: old_root_mbr,
                             child: ChildRef::Node(id),
@@ -518,7 +565,7 @@ impl RTree {
                             child: ChildRef::Node(sibling),
                         },
                     ],
-                }));
+                ));
                 self.node_mut(id).parent = Some(new_root);
                 self.node_mut(sibling).parent = Some(new_root);
                 self.root = new_root;
@@ -537,32 +584,34 @@ impl RTree {
     /// the MBR the object was inserted with). Returns `false` when the
     /// object is not in the tree.
     pub fn delete(&mut self, id: crate::ObjectId, mbr: &Rect) -> bool {
-        let Some(leaf) = self.find_leaf(self.root, id, mbr) else {
+        let Some(leaf) = self.find_leaf(id, mbr) else {
             return false;
         };
         self.node_mut(leaf)
-            .entries
-            .retain(|e| e.child != ChildRef::Object(id));
+            .retain_entries(|e| e.child != ChildRef::Object(id));
         self.mark_dirty(leaf);
         self.object_count -= 1;
         self.condense(leaf);
         true
     }
 
-    fn find_leaf(&self, node: NodeId, id: crate::ObjectId, mbr: &Rect) -> Option<NodeId> {
-        let n = self.node(node);
-        if n.is_leaf() {
-            return n
-                .entries
-                .iter()
-                .any(|e| e.child == ChildRef::Object(id))
-                .then_some(node);
-        }
-        for e in &n.entries {
-            if let ChildRef::Node(c) = e.child {
-                if e.mbr.contains_rect(mbr) {
-                    if let Some(found) = self.find_leaf(c, id, mbr) {
-                        return Some(found);
+    /// Locates the leaf holding `id`, descending only through entries whose
+    /// MBR contains the object's. Iterative (explicit stack): like the
+    /// query kernels, deletion must not recurse on pathological tree depth.
+    fn find_leaf(&self, id: crate::ObjectId, mbr: &Rect) -> Option<NodeId> {
+        let mut stack = vec![self.root];
+        while let Some(cur) = stack.pop() {
+            let n = self.node(cur);
+            if n.is_leaf() {
+                if n.children().contains(&ChildRef::Object(id)) {
+                    return Some(cur);
+                }
+                continue;
+            }
+            for e in n.entries() {
+                if let ChildRef::Node(c) = e.child {
+                    if e.mbr.contains_rect(mbr) {
+                        stack.push(c);
                     }
                 }
             }
@@ -576,15 +625,14 @@ impl RTree {
     fn condense(&mut self, mut id: NodeId) {
         let mut orphans: Vec<(Entry, u16)> = Vec::new();
         while let Some(parent) = self.node(id).parent {
-            if self.node(id).entries.len() < self.cfg.min_entries {
+            if self.node(id).len() < self.cfg.min_entries {
                 // Detach `id`: its parent loses the entry, its own entries
                 // queue for re-insertion at their original level.
                 let level = self.node(id).level;
-                let entries = std::mem::take(&mut self.node_mut(id).entries);
+                let entries = self.node_mut(id).take_entries();
                 orphans.extend(entries.into_iter().map(|e| (e, level)));
                 self.node_mut(parent)
-                    .entries
-                    .retain(|e| e.child != ChildRef::Node(id));
+                    .retain_entries(|e| e.child != ChildRef::Node(id));
                 self.node_mut(id).parent = None;
                 self.mark_dirty(id);
                 self.mark_dirty(parent);
@@ -601,15 +649,15 @@ impl RTree {
             self.insert_at_level(entry, level, &mut reinserted);
         }
         // Shrink the root while it is a single-child internal node.
-        while self.node(self.root).level > 0 && self.node(self.root).entries.len() == 1 {
+        while self.node(self.root).level > 0 && self.node(self.root).len() == 1 {
             let old_root = self.root;
-            let ChildRef::Node(child) = self.node(self.root).entries[0].child else {
+            let ChildRef::Node(child) = self.node(self.root).child_at(0) else {
                 unreachable!("non-leaf root holds node entries")
             };
             self.node_mut(child).parent = None;
             self.root = child;
             self.height -= 1;
-            self.node_mut(old_root).entries.clear();
+            self.node_mut(old_root).clear_entries();
             self.mark_dirty(old_root);
         }
     }
@@ -620,21 +668,14 @@ impl RTree {
     fn refresh_parent_entry(&mut self, id: NodeId) {
         if let Some(p) = self.node(id).parent {
             let mbr = self.node(id).mbr().expect("child non-empty");
-            let stale = self
+            let slot = self
                 .node(p)
-                .entries
-                .iter()
-                .any(|e| e.child == ChildRef::Node(id) && e.mbr != mbr);
-            if !stale {
+                .entries()
+                .position(|e| e.child == ChildRef::Node(id) && e.mbr != mbr);
+            let Some(slot) = slot else {
                 return;
-            }
-            let parent = Arc::make_mut(&mut self.nodes[p.0 as usize]);
-            for e in &mut parent.entries {
-                if e.child == ChildRef::Node(id) {
-                    e.mbr = mbr;
-                    break;
-                }
-            }
+            };
+            self.node_mut(p).set_mbr_at(slot, mbr);
             self.dirty.push(p);
         }
     }
@@ -680,14 +721,14 @@ impl RTree {
                 }
             }
             if id != self.root {
-                if node.entries.len() > self.cfg.max_entries {
+                if node.len() > self.cfg.max_entries {
                     return Err(format!("{id}: overflowing node"));
                 }
-                if strict_fill && node.entries.len() < self.cfg.min_entries {
+                if strict_fill && node.len() < self.cfg.min_entries {
                     return Err(format!("{id}: under-filled node"));
                 }
             }
-            for e in &node.entries {
+            for e in node.entries() {
                 match e.child {
                     ChildRef::Object(o) => {
                         if node.level != 0 {
@@ -717,6 +758,41 @@ impl RTree {
             ));
         }
         Ok(())
+    }
+
+    /// A pathological single-entry chain of `depth` levels over one object
+    /// — the adversarial input for the recursion-depth regression tests
+    /// (the old recursive kernels overflowed the stack on it; the iterative
+    /// ones must not). Structurally valid but wildly under-filled.
+    #[cfg(test)]
+    pub(crate) fn degenerate_chain(cfg: RTreeConfig, depth: u16) -> RTree {
+        assert!(depth >= 1);
+        let mbr = Rect::from_coords(0.25, 0.25, 0.25, 0.25);
+        let mut tree = RTree::hollow(cfg);
+        tree.object_count = 1;
+        let mut prev = tree.push_node(Node::with_entries(
+            None,
+            0,
+            [Entry {
+                mbr,
+                child: ChildRef::Object(crate::ObjectId(0)),
+            }],
+        ));
+        for level in 1..depth {
+            let id = tree.push_node(Node::with_entries(
+                None,
+                level,
+                [Entry {
+                    mbr,
+                    child: ChildRef::Node(prev),
+                }],
+            ));
+            tree.node_mut(prev).parent = Some(id);
+            prev = id;
+        }
+        tree.root = prev;
+        tree.height = depth;
+        tree
     }
 }
 
@@ -958,6 +1034,52 @@ mod tests {
         assert!(base.slab_len() - shared <= 4 * base.height() as usize + 8);
         base.validate(600, false).unwrap();
         pruned.validate(599, false).unwrap();
+    }
+
+    #[test]
+    fn cloned_tree_shares_untouched_chunks() {
+        // Pointer-table sharing: with the slab spanning multiple 1024-slot
+        // segments, an insert after a clone must copy only the segments the
+        // touched spine lands in, leaving whole segments shared.
+        let objs = random_objects(9000, 33);
+        let base = RTree::bulk_load(RTreeConfig::small(), &objs);
+        assert!(
+            base.node_chunk_count() >= 2,
+            "need a multi-segment slab for this test (got {} nodes)",
+            base.slab_len()
+        );
+        let mut next = base.clone();
+        assert_eq!(
+            base.shared_node_chunks(&next),
+            base.node_chunk_count(),
+            "a fresh clone shares every segment"
+        );
+        next.insert(&SpatialObject {
+            id: ObjectId(90000),
+            mbr: Rect::from_point(Point::new(0.44, 0.17)),
+            size_bytes: 10,
+        });
+        let copied_slots = base.slab_len() - base.shared_node_slots(&next);
+        let copied_chunks = base.node_chunk_count() - base.shared_node_chunks(&next);
+        assert!(
+            copied_chunks >= 1 && copied_chunks <= copied_slots,
+            "{copied_chunks} segments copied for {copied_slots} touched slots"
+        );
+        assert!(
+            base.shared_node_chunks(&next) >= base.node_chunk_count().saturating_sub(copied_slots),
+            "untouched segments must stay shared ({}/{} shared)",
+            base.shared_node_chunks(&next),
+            base.node_chunk_count()
+        );
+        base.validate(9000, false).unwrap();
+        next.validate(9001, false).unwrap();
+    }
+
+    #[test]
+    fn degenerate_chain_is_structurally_valid() {
+        let tree = RTree::degenerate_chain(RTreeConfig::small(), 500);
+        assert_eq!(tree.height(), 500);
+        tree.validate(1, false).unwrap();
     }
 
     #[test]

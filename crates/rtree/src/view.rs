@@ -59,7 +59,7 @@ impl IndexView for FullView<'_> {
         match bpt.find(cell.code) {
             Some(c) => match c.kind {
                 BptCellKind::Leaf { entry_idx } => {
-                    let entry = &self.tree.node(cell.node).entries[entry_idx as usize];
+                    let entry = self.tree.node(cell.node).entry(entry_idx as usize);
                     let child = match entry.child {
                         ChildRef::Node(n) => CellChild {
                             mbr: entry.mbr,

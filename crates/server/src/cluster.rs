@@ -1232,7 +1232,7 @@ impl IndexView for ClusterView<'_> {
         match bpt.find(cell.code) {
             Some(c) => match c.kind {
                 BptCellKind::Leaf { entry_idx } => {
-                    let entry = &snap.tree().node(local).entries[entry_idx as usize];
+                    let entry = snap.tree().node(local).entry(entry_idx as usize);
                     let child = match entry.child {
                         pc_rtree::ChildRef::Node(n) => CellChild {
                             mbr: entry.mbr,

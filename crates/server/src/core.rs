@@ -474,6 +474,46 @@ mod tests {
     }
 
     #[test]
+    fn publish_shares_node_and_bpt_chunks_at_scale() {
+        // Chunked-slab extension of the sharing test: with a slab spanning
+        // several 1024-slot segments, a small batch must leave most *whole
+        // segments* shared by `Arc` between epochs — the publish cost is
+        // O(batch · depth) slot copies plus one chunk clone per dirty chunk,
+        // independent of the dataset size.
+        let core = sample_core(9000, 23);
+        let old = core.pin();
+        assert!(
+            old.tree().node_chunk_count() >= 2,
+            "dataset too small to span multiple node chunks"
+        );
+        core.apply_updates(&[
+            Update::Insert {
+                mbr: Rect::from_point(Point::new(0.61, 0.39)),
+                size_bytes: 100,
+            },
+            Update::Delete(ObjectId(42)),
+        ]);
+        let new = core.pin();
+
+        let node_chunks = old.tree().node_chunk_count();
+        let copied_slots = old.tree().slab_len() - old.tree().shared_node_slots(new.tree());
+        let copied_node_chunks = node_chunks - old.tree().shared_node_chunks(new.tree());
+        assert!(copied_node_chunks >= 1, "an update must dirty some chunk");
+        assert!(
+            copied_node_chunks <= copied_slots.max(1),
+            "copied {copied_node_chunks} node chunks for only {copied_slots} dirty slots"
+        );
+
+        let bpt_chunks = old.bpts().chunk_count();
+        let rebuilt = old.bpts().node_count() - old.bpts().shared_bpts(new.bpts());
+        let copied_bpt_chunks = bpt_chunks - old.bpts().shared_chunks(new.bpts());
+        assert!(
+            copied_bpt_chunks <= rebuilt.max(1),
+            "copied {copied_bpt_chunks} BPT chunks for only {rebuilt} rebuilt BPTs"
+        );
+    }
+
+    #[test]
     fn malformed_batches_never_panic_the_writer() {
         // Deletes/moves naming ids the store never assigned are skipped; a
         // delete of an already-tombstoned object is a no-op too. The epoch

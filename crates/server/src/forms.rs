@@ -79,7 +79,7 @@ fn record(
 ) -> CellRecord {
     let kind = match cell.kind {
         BptCellKind::Internal { .. } => CellKind::Super,
-        BptCellKind::Leaf { entry_idx } => match node.entries[entry_idx as usize].child {
+        BptCellKind::Leaf { entry_idx } => match node.entry(entry_idx as usize).child {
             ChildRef::Node(c) => CellKind::Node(c),
             ChildRef::Object(o) => CellKind::Object(o),
         },
@@ -138,7 +138,7 @@ mod tests {
         assert!(!ships.is_empty());
         for s in &ships {
             let n = tree.node(s.node);
-            assert_eq!(s.cells.len(), n.entries.len(), "{} full form", s.node);
+            assert_eq!(s.cells.len(), n.len(), "{} full form", s.node);
             assert!(s.cells.iter().all(|c| !matches!(c.kind, CellKind::Super)));
         }
     }

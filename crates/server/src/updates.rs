@@ -585,11 +585,7 @@ mod tests {
     fn leaf_of(snap: &crate::Snapshot, id: ObjectId) -> Option<NodeId> {
         snap.tree().node_ids().into_iter().find(|&n| {
             let node = snap.tree().node(n);
-            node.is_leaf()
-                && node
-                    .entries
-                    .iter()
-                    .any(|e| e.child == pc_rtree::ChildRef::Object(id))
+            node.is_leaf() && node.children().contains(&pc_rtree::ChildRef::Object(id))
         })
     }
 
