@@ -74,6 +74,7 @@ impl PageCache {
         let mut ledger = Ledger {
             uplink_bytes,
             contacted_server: true,
+            contacts: 1,
             server_time_s,
             ..Default::default()
         };

@@ -195,6 +195,7 @@ impl SemanticCache {
         }
 
         ledger.contacted_server = true;
+        ledger.contacts = pieces.len() as u32;
         ledger.uplink_bytes = QUERY_DESC_BYTES + pieces.len() as u64 * REGION_DESC_BYTES;
 
         // Fetch each piece; collect the new regions to insert.
@@ -322,6 +323,7 @@ impl SemanticCache {
         let mut ledger = Ledger {
             uplink_bytes: QUERY_DESC_BYTES,
             contacted_server: true,
+            contacts: 1,
             server_time_s,
             ..Default::default()
         };
@@ -384,6 +386,7 @@ impl SemanticCache {
         let mut ledger = Ledger {
             uplink_bytes: QUERY_DESC_BYTES,
             contacted_server: true,
+            contacts: 1,
             server_time_s,
             ..Default::default()
         };

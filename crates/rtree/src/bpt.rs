@@ -77,6 +77,28 @@ impl Code {
         self.len <= other.len
             && (other.bits & ((1u64 << self.len) as u32).wrapping_sub(1)) == self.bits
     }
+
+    /// The raw `(bits, len)` pair for serialization (`pc_wire`). Inverse of
+    /// [`Code::from_raw`].
+    #[inline]
+    pub fn raw(self) -> (u32, u8) {
+        (self.bits, self.len)
+    }
+
+    /// Rebuilds a code from its raw parts, validating the invariant that
+    /// only the low `len` bits may be set. Returns `None` for out-of-range
+    /// lengths or stray high bits — the decode side of a wire codec must
+    /// never manufacture an invalid code.
+    #[inline]
+    pub fn from_raw(bits: u32, len: u8) -> Option<Code> {
+        if len > 32 {
+            return None;
+        }
+        if len < 32 && (bits >> len) != 0 {
+            return None;
+        }
+        Some(Code { bits, len })
+    }
 }
 
 impl std::fmt::Display for Code {
@@ -456,6 +478,18 @@ impl BptStore {
 mod tests {
     use super::*;
     use pc_geom::Point;
+
+    #[test]
+    fn code_raw_round_trips_and_validates() {
+        let code = Code::ROOT.child(true).child(false).child(true);
+        let (bits, len) = code.raw();
+        assert_eq!(Code::from_raw(bits, len), Some(code));
+        assert_eq!(Code::from_raw(0, 0), Some(Code::ROOT));
+        // Stray bits above `len` and over-long lengths are rejected.
+        assert_eq!(Code::from_raw(0b100, 2), None);
+        assert_eq!(Code::from_raw(0, 33), None);
+        assert!(Code::from_raw(u32::MAX, 32).is_some());
+    }
 
     fn mbrs(n: usize) -> Vec<Rect> {
         (0..n)

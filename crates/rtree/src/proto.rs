@@ -10,6 +10,13 @@
 //! pointer/id is 8 bytes, …). The absolute constants only scale the
 //! results; all comparisons in the paper are *relative* across caching
 //! models that share these rules.
+//!
+//! These sizes are not just a model: the `pc_wire` crate encodes every
+//! envelope into real length-prefixed frames whose body length equals
+//! `wire_bytes()` exactly (framing overhead itemized separately), and the
+//! TCP loopback transport (`pc_server::wire`) cross-checks measured frame
+//! bytes against these constants on every run. Changing a constant here
+//! without the matching codec change fails the reconciliation pins.
 
 use crate::bpt::Code;
 use crate::{NodeId, ObjectId, SpatialObject};

@@ -34,6 +34,7 @@ pub mod service;
 mod test_util;
 pub mod transport;
 pub mod updates;
+pub mod wire;
 
 pub use adaptive::{AdaptiveController, AdaptiveState};
 pub use cluster::{Cluster, ClusterConfig, ClusterStats, ShardMap, SUPER_ROOT};
@@ -44,3 +45,4 @@ pub use server::{ClientId, FormPolicy, Server, ServerConfig};
 pub use service::{BatchConfig, BatchedService, ServiceStats};
 pub use transport::{InProcess, ServerHandle, Transport};
 pub use updates::{Update, UpdateLog, VersionedReply};
+pub use wire::{TcpTransport, WireServer, WireServerConfig, WireServerStats, WireTransportStats};

@@ -38,6 +38,7 @@ use crate::server::{ClientId, Server};
 use crate::transport::{dispatch, ServerHandle, Transport};
 use crate::{FormMode, ServerCore};
 use pc_rtree::proto::{RemainderQuery, Request, Response, VersionedReply};
+use std::borrow::Borrow;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -150,8 +151,13 @@ struct Shard {
 
 /// The batched remainder front-end. Implements [`ServerHandle`], so a
 /// fleet runs against it exactly as it runs against a bare `&Server`.
-pub struct BatchedService<'a> {
-    server: &'a Server,
+///
+/// Generic over *how it holds the server*: `S = &Server` borrows (the
+/// in-process fleet), `S = Arc<Server>` owns a share (the wire server's
+/// connection threads, which need a `'static` handle). Either way the
+/// batching semantics are identical.
+pub struct BatchedService<S: Borrow<Server> + Send + Sync> {
+    server: S,
     cfg: BatchConfig,
     shards: Vec<Shard>,
     batches: AtomicU64,
@@ -159,8 +165,8 @@ pub struct BatchedService<'a> {
     max_batch_seen: AtomicU64,
 }
 
-impl<'a> BatchedService<'a> {
-    pub fn new(server: &'a Server, cfg: BatchConfig) -> Self {
+impl<S: Borrow<Server> + Send + Sync> BatchedService<S> {
+    pub fn new(server: S, cfg: BatchConfig) -> Self {
         assert!(cfg.shards > 0, "need at least one shard");
         assert!(cfg.max_batch > 0, "flush threshold must be positive");
         assert!(
@@ -183,8 +189,13 @@ impl<'a> BatchedService<'a> {
     }
 
     /// With the default knobs.
-    pub fn over(server: &'a Server) -> Self {
+    pub fn over(server: S) -> Self {
         BatchedService::new(server, BatchConfig::default())
+    }
+
+    /// The server this service fronts.
+    pub fn server(&self) -> &Server {
+        self.server.borrow()
     }
 
     pub fn config(&self) -> &BatchConfig {
@@ -218,18 +229,19 @@ impl<'a> BatchedService<'a> {
         epoch: Option<u64>,
     ) -> Response {
         let shard = self.shard(client);
-        let snap = self.server.core().pin();
+        let server = self.server.borrow();
+        let snap = server.core().pin();
         if epoch.is_some() {
             // Versioned contact: record the epoch this client will sync to
             // (the reply carries the pinned snapshot's epoch), keeping the
             // fleet low-water mark — and thus log pruning — honest even
             // though the flusher never touches the adaptive table.
-            self.server.note_client_epoch(client, snap.epoch());
+            server.note_client_epoch(client, snap.epoch());
         }
         let pending = Pending {
             rq,
             epoch,
-            mode: self.server.remainder_mode(client),
+            mode: server.remainder_mode(client),
             snap,
             slot: Arc::new(Mutex::new(None)),
         };
@@ -292,25 +304,25 @@ impl<'a> BatchedService<'a> {
     }
 }
 
-impl Transport for BatchedService<'_> {
+impl<S: Borrow<Server> + Send + Sync> Transport for BatchedService<S> {
     fn call(&self, client: ClientId, req: Request) -> Response {
         match req {
             Request::Remainder(rq) => self.batched_remainder(client, rq, None),
             Request::RemainderVersioned { query, epoch } => {
                 self.batched_remainder(client, query, Some(epoch))
             }
-            other => dispatch(self.server, client, other),
+            other => dispatch(self.server.borrow(), client, other),
         }
     }
 }
 
-impl ServerHandle for BatchedService<'_> {
+impl<S: Borrow<Server> + Send + Sync> ServerHandle for BatchedService<S> {
     fn core(&self) -> &ServerCore {
-        self.server.core()
+        self.server.borrow().core()
     }
 
     fn apply_updates(&self, updates: &[crate::updates::Update]) -> u64 {
-        self.server.apply_updates(updates)
+        self.server.borrow().apply_updates(updates)
     }
 }
 
@@ -325,7 +337,8 @@ mod tests {
     #[test]
     fn service_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
-        assert_send_sync::<BatchedService<'static>>();
+        assert_send_sync::<BatchedService<&'static Server>>();
+        assert_send_sync::<BatchedService<std::sync::Arc<Server>>>();
     }
 
     #[test]

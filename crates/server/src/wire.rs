@@ -1,0 +1,809 @@
+//! The socket transport: real frames over TCP loopback replace the
+//! in-process call.
+//!
+//! Server side, [`WireServer`] wraps any `Arc<dyn ServerHandle>` behind a
+//! listener: an accept thread spawns one connection thread per client
+//! socket, each running a read-frame → decode → dispatch → encode →
+//! write-frame loop (std::net + threads; no async runtime exists in this
+//! build environment). The flat-combining [`BatchedService`] *is* the
+//! batching policy — [`WireServer::spawn_batched`] fronts the server with
+//! it, so concurrently arriving remainder frames from different
+//! connections coalesce exactly like in-process callers.
+//!
+//! Client side, [`TcpTransport`] implements [`ServerHandle`]: `call` is a
+//! blocking request/reply, and [`TcpTransport::call_pipelined`] sends a
+//! burst of frames before waiting on any reply — a dedicated reader thread
+//! per connection demultiplexes responses by the echoed `seq`, so uplink,
+//! server time and downlink overlap. Each [`ClientId`] gets its own lazily
+//! opened connection (mirroring "one channel per mobile client"), and
+//! answering a [`Request::Forget`] closes that client's connection — the
+//! disconnect the envelope models.
+//!
+//! Measured bytes: both ends count actual encoded frame lengths alongside
+//! the `wire_bytes()` model, and the identity
+//! `measured == modeled + itemized framing overhead` is exposed via
+//! [`WireTransportStats`] — the live cross-check that the paper-model
+//! ledger and the wire are telling the same story.
+//!
+//! Out-of-band metadata (`core()`, `bootstrap_root`, `apply_updates`,
+//! `log_records`) delegates to the wrapped in-process handle: the byte
+//! ledger charges nothing for it, so it does not travel the socket.
+
+use crate::server::{ClientId, Server};
+use crate::service::{BatchConfig, BatchedService};
+use crate::transport::{ServerHandle, Transport};
+use crate::updates::Update;
+use crate::ServerCore;
+use pc_geom::Rect;
+use pc_rtree::proto::{Request, Response};
+use pc_rtree::NodeId;
+use pc_wire::{
+    decode_request, decode_response, encode_request, encode_response, read_frame, request_overhead,
+    response_overhead, tag, FrameHeader, FRAME_HEADER_BYTES,
+};
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Knobs for the server's connection loop.
+#[derive(Clone, Copy, Debug)]
+pub struct WireServerConfig {
+    /// Hard cap on a declared frame body; larger frames are rejected and
+    /// the offending connection closed (never an allocation).
+    pub max_frame_bytes: u64,
+}
+
+impl Default for WireServerConfig {
+    fn default() -> Self {
+        WireServerConfig {
+            // Generous for simulated object payloads; tiny against memory.
+            max_frame_bytes: 8 << 20,
+        }
+    }
+}
+
+/// Counters the server side keeps about its wire traffic.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WireServerStats {
+    /// Connections the accept loop handed to a handler thread.
+    pub connections_accepted: u64,
+    /// Requests decoded, dispatched and answered.
+    pub requests_served: u64,
+    /// Frames refused for framing violations (bad magic/version/oversize).
+    pub frames_rejected: u64,
+    /// Frames whose body failed to decode into a request.
+    pub requests_aborted: u64,
+    /// Total frame bytes read (headers + bodies).
+    pub rx_frame_bytes: u64,
+    /// Total frame bytes written.
+    pub tx_frame_bytes: u64,
+}
+
+#[derive(Default)]
+struct ServerCounters {
+    connections_accepted: AtomicU64,
+    requests_served: AtomicU64,
+    frames_rejected: AtomicU64,
+    requests_aborted: AtomicU64,
+    rx_frame_bytes: AtomicU64,
+    tx_frame_bytes: AtomicU64,
+}
+
+impl ServerCounters {
+    fn snapshot(&self) -> WireServerStats {
+        WireServerStats {
+            connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
+            requests_served: self.requests_served.load(Ordering::Relaxed),
+            frames_rejected: self.frames_rejected.load(Ordering::Relaxed),
+            requests_aborted: self.requests_aborted.load(Ordering::Relaxed),
+            rx_frame_bytes: self.rx_frame_bytes.load(Ordering::Relaxed),
+            tx_frame_bytes: self.tx_frame_bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A serving TCP endpoint over a [`ServerHandle`]. Dropping it (or calling
+/// [`WireServer::shutdown`]) stops the accept loop and joins every
+/// connection thread — in-flight requests are drained, not dropped, so a
+/// fleet's summaries stay exactly mergeable across a shutdown.
+pub struct WireServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    stats: Arc<ServerCounters>,
+}
+
+/// Outcome of the stop-aware exact read inside a connection handler.
+enum ReadOutcome {
+    Ok,
+    /// Clean EOF before the first byte of this read.
+    Eof,
+    /// The stop flag was raised between frames.
+    Drained,
+    /// Truncation, a wedged peer during drain, or a socket error.
+    Failed,
+}
+
+/// Reads exactly `buf.len()` bytes, waking every read-timeout tick to
+/// check the stop flag. Between frames (`filled == 0`) a raised stop flag
+/// drains the connection; mid-structure it keeps reading so a request
+/// already on the wire completes (bounded by the peer closing or the
+/// 40-tick cap ≈ 10 s against a wedged peer).
+fn read_exact_stoppable(stream: &mut TcpStream, buf: &mut [u8], stop: &AtomicBool) -> ReadOutcome {
+    let mut filled = 0usize;
+    let mut stalled_ticks = 0u32;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return if filled == 0 {
+                    ReadOutcome::Eof
+                } else {
+                    // Peer closed mid-structure: a truncated frame.
+                    ReadOutcome::Failed
+                };
+            }
+            Ok(n) => {
+                filled += n;
+                stalled_ticks = 0;
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if stop.load(Ordering::Relaxed) {
+                    if filled == 0 {
+                        return ReadOutcome::Drained;
+                    }
+                    stalled_ticks += 1;
+                    if stalled_ticks > 40 {
+                        return ReadOutcome::Failed;
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return ReadOutcome::Failed,
+        }
+    }
+    ReadOutcome::Ok
+}
+
+fn handle_connection(
+    mut stream: TcpStream,
+    handle: &Arc<dyn ServerHandle>,
+    cfg: WireServerConfig,
+    stop: &AtomicBool,
+    stats: &ServerCounters,
+) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    loop {
+        let mut hdr = [0u8; FRAME_HEADER_BYTES as usize];
+        match read_exact_stoppable(&mut stream, &mut hdr, stop) {
+            ReadOutcome::Ok => {}
+            ReadOutcome::Eof | ReadOutcome::Drained => return,
+            ReadOutcome::Failed => {
+                stats.frames_rejected.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+        let header = match FrameHeader::parse(hdr) {
+            Ok(h) => h,
+            Err(_) => {
+                // Bad magic/version: the stream is desynchronized beyond
+                // recovery — close it.
+                stats.frames_rejected.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        };
+        if header.body_len as u64 > cfg.max_frame_bytes || !tag::is_request(header.tag) {
+            stats.frames_rejected.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let mut body = vec![0u8; header.body_len as usize];
+        match read_exact_stoppable(&mut stream, &mut body, stop) {
+            ReadOutcome::Ok => {}
+            _ => {
+                stats.frames_rejected.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+        stats
+            .rx_frame_bytes
+            .fetch_add(FRAME_HEADER_BYTES + body.len() as u64, Ordering::Relaxed);
+        let req = match decode_request(header.tag, &body) {
+            Ok(r) => r,
+            Err(_) => {
+                stats.requests_aborted.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        };
+        let resp = handle.call(header.client, req);
+        let frame = encode_response(header.client, header.seq, &resp);
+        if stream.write_all(&frame).is_err() {
+            return;
+        }
+        stats
+            .tx_frame_bytes
+            .fetch_add(frame.len() as u64, Ordering::Relaxed);
+        stats.requests_served.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+impl WireServer {
+    /// Binds `127.0.0.1:0` and starts serving `handle`.
+    pub fn spawn(
+        handle: Arc<dyn ServerHandle>,
+        cfg: WireServerConfig,
+    ) -> std::io::Result<WireServer> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(ServerCounters::default());
+
+        let accept = {
+            let stop = Arc::clone(&stop);
+            let stats = Arc::clone(&stats);
+            std::thread::Builder::new()
+                .name("wire-accept".into())
+                .spawn(move || {
+                    let mut conns: Vec<JoinHandle<()>> = Vec::new();
+                    for incoming in listener.incoming() {
+                        if stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let Ok(stream) = incoming else { continue };
+                        stats.connections_accepted.fetch_add(1, Ordering::Relaxed);
+                        let handle = Arc::clone(&handle);
+                        let stop = Arc::clone(&stop);
+                        let stats = Arc::clone(&stats);
+                        let t = std::thread::Builder::new()
+                            .name("wire-conn".into())
+                            .spawn(move || {
+                                handle_connection(stream, &handle, cfg, &stop, &stats);
+                            })
+                            .expect("spawn connection thread");
+                        conns.push(t);
+                        conns.retain(|t| !t.is_finished());
+                    }
+                    // Drain: every connection finishes its in-flight work.
+                    for t in conns {
+                        let _ = t.join();
+                    }
+                })?
+        };
+        Ok(WireServer {
+            addr,
+            stop,
+            accept: Some(accept),
+            stats,
+        })
+    }
+
+    /// Serves `server` through a flat-combining [`BatchedService`] — the
+    /// connection loop's batching policy. Returns the service too, so the
+    /// caller can read [`crate::ServiceStats`] after the run.
+    pub fn spawn_batched(
+        server: Arc<Server>,
+        batch: BatchConfig,
+        cfg: WireServerConfig,
+    ) -> std::io::Result<(WireServer, Arc<BatchedService<Arc<Server>>>)> {
+        let service = Arc::new(BatchedService::new(server, batch));
+        let handle: Arc<dyn ServerHandle> = Arc::clone(&service) as Arc<dyn ServerHandle>;
+        Ok((WireServer::spawn(handle, cfg)?, service))
+    }
+
+    /// The bound loopback address clients connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    pub fn stats(&self) -> WireServerStats {
+        self.stats.snapshot()
+    }
+
+    /// Stops accepting, drains every connection and joins all threads.
+    pub fn shutdown(&mut self) {
+        if self.accept.is_none() {
+            return;
+        }
+        self.stop.store(true, Ordering::Relaxed);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for WireServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Client side
+// ---------------------------------------------------------------------
+
+/// Measured-vs-modeled byte counters for one [`TcpTransport`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WireTransportStats {
+    /// Frames sent / received.
+    pub tx_frames: u64,
+    pub rx_frames: u64,
+    /// Actual encoded frame bytes sent / received (headers included).
+    pub tx_bytes: u64,
+    pub rx_bytes: u64,
+    /// What the `wire_bytes()` model charges for the same traffic.
+    pub modeled_tx_bytes: u64,
+    pub modeled_rx_bytes: u64,
+    /// Itemized framing overhead (frame + section headers).
+    pub tx_overhead_bytes: u64,
+    pub rx_overhead_bytes: u64,
+}
+
+impl WireTransportStats {
+    /// The measured-bytes cross-check: every measured byte is either a
+    /// modeled byte or itemized framing — no drift in either direction.
+    pub fn reconciles(&self) -> bool {
+        self.tx_bytes == self.modeled_tx_bytes + self.tx_overhead_bytes
+            && self.rx_bytes == self.modeled_rx_bytes + self.rx_overhead_bytes
+    }
+}
+
+#[derive(Default)]
+struct TransportCounters {
+    tx_frames: AtomicU64,
+    rx_frames: AtomicU64,
+    tx_bytes: AtomicU64,
+    rx_bytes: AtomicU64,
+    modeled_tx: AtomicU64,
+    modeled_rx: AtomicU64,
+    tx_overhead: AtomicU64,
+    rx_overhead: AtomicU64,
+}
+
+/// One client's connection: a write half guarded by a mutex (frames are
+/// written atomically), a reader thread demultiplexing responses into
+/// per-`seq` slots, and a monotone `seq` counter. Multiple in-flight
+/// requests pipeline: send N frames, then collect N replies in any order.
+struct Conn {
+    stream: TcpStream,
+    write: Mutex<TcpStream>,
+    seq: AtomicU32,
+    slots: Mutex<HashMap<u32, Option<Response>>>,
+    ready: Condvar,
+    dead: AtomicBool,
+    reader: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Conn {
+    fn open(
+        addr: SocketAddr,
+        counters: Arc<TransportCounters>,
+        max_frame_bytes: u64,
+    ) -> std::io::Result<Arc<Conn>> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let write = stream.try_clone()?;
+        let conn = Arc::new(Conn {
+            stream: stream.try_clone()?,
+            write: Mutex::new(write),
+            seq: AtomicU32::new(0),
+            slots: Mutex::new(HashMap::new()),
+            ready: Condvar::new(),
+            dead: AtomicBool::new(false),
+            reader: Mutex::new(None),
+        });
+        let reader = {
+            let conn = Arc::clone(&conn);
+            let mut stream = stream;
+            std::thread::Builder::new()
+                .name("wire-reader".into())
+                .spawn(move || {
+                    while let Ok(frame) = read_frame(&mut stream, max_frame_bytes) {
+                        let Ok(resp) = decode_response(frame.header.tag, &frame.body) else {
+                            break;
+                        };
+                        let len = FRAME_HEADER_BYTES + frame.body.len() as u64;
+                        counters.rx_frames.fetch_add(1, Ordering::Relaxed);
+                        counters.rx_bytes.fetch_add(len, Ordering::Relaxed);
+                        counters
+                            .modeled_rx
+                            .fetch_add(resp.wire_bytes(), Ordering::Relaxed);
+                        counters
+                            .rx_overhead
+                            .fetch_add(response_overhead(&resp), Ordering::Relaxed);
+                        let mut slots = conn.slots.lock().unwrap();
+                        slots.insert(frame.header.seq, Some(resp));
+                        conn.ready.notify_all();
+                        drop(slots);
+                    }
+                    // Whatever ended the stream (orderly close, reset,
+                    // undecodable frame), parked waiters must observe it —
+                    // fail fast, never hang on the condvar.
+                    conn.dead.store(true, Ordering::Relaxed);
+                    conn.ready.notify_all();
+                })?
+        };
+        *conn.reader.lock().unwrap() = Some(reader);
+        Ok(conn)
+    }
+
+    fn close(&self) {
+        self.dead.store(true, Ordering::Relaxed);
+        let _ = self.stream.shutdown(Shutdown::Both);
+        self.ready.notify_all();
+        if let Some(t) = self.reader.lock().unwrap().take() {
+            let _ = t.join();
+        }
+        // The reader died with requests possibly still parked: wake them
+        // so they can observe `dead` instead of waiting forever.
+        self.ready.notify_all();
+    }
+}
+
+/// Client-side response frame ceiling. Unlike the server's request cap
+/// (a hostile-input guard), responses come from our own server and scale
+/// with result payloads — a cold query against a large cache can ship
+/// tens of MB of objects in one reply — so this is only a desync sanity
+/// check: a stream whose header promises more than this is corrupt, not
+/// busy.
+const RESPONSE_FRAME_CAP_BYTES: u64 = 1 << 30;
+
+/// Client-side [`ServerHandle`] over a TCP connection per [`ClientId`].
+pub struct TcpTransport {
+    addr: SocketAddr,
+    /// In-process handle backing the out-of-band metadata surface.
+    inner: Arc<dyn ServerHandle>,
+    conns: Mutex<HashMap<ClientId, Arc<Conn>>>,
+    counters: Arc<TransportCounters>,
+    max_frame_bytes: u64,
+}
+
+impl TcpTransport {
+    /// Connects lazily to `addr`; `inner` answers the metadata surface
+    /// (`core()`, `bootstrap_root`, …) that never travels the channel.
+    pub fn connect(addr: SocketAddr, inner: Arc<dyn ServerHandle>) -> TcpTransport {
+        TcpTransport {
+            addr,
+            inner,
+            conns: Mutex::new(HashMap::new()),
+            counters: Arc::new(TransportCounters::default()),
+            max_frame_bytes: RESPONSE_FRAME_CAP_BYTES,
+        }
+    }
+
+    pub fn stats(&self) -> WireTransportStats {
+        let c = &self.counters;
+        WireTransportStats {
+            tx_frames: c.tx_frames.load(Ordering::Relaxed),
+            rx_frames: c.rx_frames.load(Ordering::Relaxed),
+            tx_bytes: c.tx_bytes.load(Ordering::Relaxed),
+            rx_bytes: c.rx_bytes.load(Ordering::Relaxed),
+            modeled_tx_bytes: c.modeled_tx.load(Ordering::Relaxed),
+            modeled_rx_bytes: c.modeled_rx.load(Ordering::Relaxed),
+            tx_overhead_bytes: c.tx_overhead.load(Ordering::Relaxed),
+            rx_overhead_bytes: c.rx_overhead.load(Ordering::Relaxed),
+        }
+    }
+
+    fn conn(&self, client: ClientId) -> Arc<Conn> {
+        let mut conns = self.conns.lock().unwrap();
+        if let Some(c) = conns.get(&client) {
+            if !c.dead.load(Ordering::Relaxed) {
+                return Arc::clone(c);
+            }
+        }
+        let c = Conn::open(self.addr, Arc::clone(&self.counters), self.max_frame_bytes)
+            .expect("wire transport: connect to loopback server");
+        conns.insert(client, Arc::clone(&c));
+        c
+    }
+
+    /// Sends one request frame, returning its `seq` for [`Self::wait`].
+    fn send(&self, conn: &Conn, client: ClientId, req: &Request) -> u32 {
+        let seq = conn.seq.fetch_add(1, Ordering::Relaxed);
+        let frame = encode_request(client, seq, req);
+        self.counters.tx_frames.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .tx_bytes
+            .fetch_add(frame.len() as u64, Ordering::Relaxed);
+        self.counters
+            .modeled_tx
+            .fetch_add(req.wire_bytes(), Ordering::Relaxed);
+        self.counters
+            .tx_overhead
+            .fetch_add(request_overhead(req), Ordering::Relaxed);
+        // Reserve the slot before the bytes hit the wire: the reader must
+        // always find somewhere to park the reply.
+        conn.slots.lock().unwrap().insert(seq, None);
+        let mut w = conn.write.lock().unwrap();
+        w.write_all(&frame)
+            .expect("wire transport: write request frame");
+        seq
+    }
+
+    fn wait(&self, conn: &Conn, seq: u32) -> Response {
+        let mut slots = conn.slots.lock().unwrap();
+        loop {
+            if let Some(slot) = slots.get_mut(&seq) {
+                if slot.is_some() {
+                    return slots.remove(&seq).unwrap().unwrap();
+                }
+            }
+            assert!(
+                !conn.dead.load(Ordering::Relaxed),
+                "wire transport: connection died awaiting reply seq {seq}"
+            );
+            slots = conn.ready.wait(slots).unwrap();
+        }
+    }
+
+    /// Pipelined burst: all frames are sent before any reply is awaited,
+    /// so the requests overlap on the wire and in the server. Replies come
+    /// back in request order regardless of wire completion order.
+    pub fn call_pipelined(&self, client: ClientId, reqs: &[Request]) -> Vec<Response> {
+        let conn = self.conn(client);
+        let seqs: Vec<u32> = reqs.iter().map(|r| self.send(&conn, client, r)).collect();
+        let resps: Vec<Response> = seqs.iter().map(|&s| self.wait(&conn, s)).collect();
+        if reqs.iter().any(|r| matches!(r, Request::Forget)) {
+            self.disconnect(client);
+        }
+        resps
+    }
+
+    /// Closes `client`'s connection (the server handler sees EOF).
+    pub fn disconnect(&self, client: ClientId) {
+        if let Some(c) = self.conns.lock().unwrap().remove(&client) {
+            c.close();
+        }
+    }
+
+    /// Closes every connection.
+    pub fn disconnect_all(&self) {
+        let conns: Vec<Arc<Conn>> = self.conns.lock().unwrap().drain().map(|(_, c)| c).collect();
+        for c in conns {
+            c.close();
+        }
+    }
+}
+
+impl Drop for TcpTransport {
+    fn drop(&mut self) {
+        self.disconnect_all();
+    }
+}
+
+impl Transport for TcpTransport {
+    fn call(&self, client: ClientId, req: Request) -> Response {
+        let conn = self.conn(client);
+        let is_forget = matches!(req, Request::Forget);
+        let seq = self.send(&conn, client, &req);
+        let resp = self.wait(&conn, seq);
+        if is_forget {
+            // The forget envelope models the disconnect; drop the socket.
+            self.disconnect(client);
+        }
+        resp
+    }
+}
+
+impl ServerHandle for TcpTransport {
+    fn core(&self) -> &ServerCore {
+        self.inner.core()
+    }
+
+    fn apply_updates(&self, updates: &[Update]) -> u64 {
+        // Server-side churn, not client traffic: stays off the channel.
+        self.inner.apply_updates(updates)
+    }
+
+    fn bootstrap_root(&self) -> (Option<(NodeId, Rect)>, u64) {
+        self.inner.bootstrap_root()
+    }
+
+    fn log_records(&self) -> usize {
+        self.inner.log_records()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::FormPolicy;
+    use crate::test_util::{cold_remainder, sample_server};
+    use pc_geom::{Point, Rect};
+    use pc_rtree::proto::QuerySpec;
+
+    fn served(objects: usize, seed: u64) -> (WireServer, Arc<Server>) {
+        let server = Arc::new(sample_server(objects, seed, FormPolicy::Adaptive));
+        let handle: Arc<dyn ServerHandle> = Arc::clone(&server) as Arc<dyn ServerHandle>;
+        let ws = WireServer::spawn(handle, WireServerConfig::default()).unwrap();
+        (ws, server)
+    }
+
+    #[test]
+    fn round_trip_over_loopback_matches_in_process() {
+        let (mut ws, server) = served(200, 5);
+        let reference = sample_server(200, 5, FormPolicy::Adaptive);
+        let tcp = TcpTransport::connect(ws.addr(), Arc::clone(&server) as Arc<dyn ServerHandle>);
+        for client in 0..3u32 {
+            let spec = QuerySpec::Range {
+                window: Rect::centered_square(Point::new(0.4 + 0.1 * client as f64, 0.5), 0.2),
+            };
+            let rq = cold_remainder(&reference, spec);
+            let over_wire = tcp
+                .call(client, Request::Remainder(rq.clone()))
+                .into_remainder();
+            let direct = reference.process_remainder(client, &rq);
+            assert_eq!(over_wire, direct);
+        }
+        let stats = tcp.stats();
+        assert!(
+            stats.reconciles(),
+            "measured != modeled + overhead: {stats:?}"
+        );
+        assert_eq!(stats.tx_frames, 3);
+        assert_eq!(stats.rx_frames, 3);
+        drop(tcp);
+        ws.shutdown();
+        let s = ws.stats();
+        assert_eq!(s.requests_served, 3);
+        assert_eq!(s.frames_rejected, 0);
+    }
+
+    #[test]
+    fn pipelined_burst_preserves_request_order() {
+        let (mut ws, server) = served(300, 9);
+        let tcp = TcpTransport::connect(ws.addr(), Arc::clone(&server) as Arc<dyn ServerHandle>);
+        // A mixed burst: fmr report, direct query, fmr report. Replies must
+        // land in request order even though they pipeline.
+        let reqs = vec![
+            Request::ReportFmr { fmr: 0.9 },
+            Request::Direct(QuerySpec::Knn {
+                center: Point::new(0.5, 0.5),
+                k: 4,
+            }),
+            Request::ReportFmr { fmr: 0.9 },
+        ];
+        let resps = tcp.call_pipelined(7, &reqs);
+        assert_eq!(resps.len(), 3);
+        resps[0].clone().into_new_d();
+        assert_eq!(resps[1].clone().into_direct().results.len(), 4);
+        resps[2].clone().into_new_d();
+        assert!(tcp.stats().reconciles());
+        drop(tcp);
+        ws.shutdown();
+        assert_eq!(ws.stats().requests_served, 3);
+    }
+
+    #[test]
+    fn client_disconnect_mid_request_leaves_server_serving() {
+        let (mut ws, server) = served(100, 3);
+        // Half a frame: a valid header promising 64 body bytes, then EOF.
+        let mut s = TcpStream::connect(ws.addr()).unwrap();
+        let hdr = FrameHeader {
+            tag: tag::REQ_DIRECT,
+            flags: 0,
+            seq: 0,
+            client: 1,
+            body_len: 64,
+        };
+        s.write_all(&hdr.to_bytes()).unwrap();
+        s.write_all(&[0u8; 10]).unwrap();
+        drop(s); // disconnect mid-request
+
+        // The server must shrug it off and keep serving other clients.
+        let tcp = TcpTransport::connect(ws.addr(), Arc::clone(&server) as Arc<dyn ServerHandle>);
+        let d = tcp
+            .call(
+                2,
+                Request::Direct(QuerySpec::Knn {
+                    center: Point::new(0.5, 0.5),
+                    k: 2,
+                }),
+            )
+            .into_direct();
+        assert_eq!(d.results.len(), 2);
+        drop(tcp);
+        ws.shutdown();
+        let stats = ws.stats();
+        assert_eq!(stats.requests_served, 1);
+        assert_eq!(stats.frames_rejected, 1, "the half frame was rejected");
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected_without_allocation() {
+        let (mut ws, server) = served(100, 4);
+        let mut s = TcpStream::connect(ws.addr()).unwrap();
+        let hdr = FrameHeader {
+            tag: tag::REQ_REMAINDER,
+            flags: 0,
+            seq: 0,
+            client: 1,
+            body_len: u32::MAX,
+        };
+        s.write_all(&hdr.to_bytes()).unwrap();
+        // The server closes the connection instead of reading 4 GiB.
+        let mut buf = [0u8; 1];
+        let n = s.read(&mut buf).unwrap_or(0);
+        assert_eq!(n, 0, "connection must be closed on an oversized frame");
+        drop(s);
+
+        // Other clients are unaffected.
+        let tcp = TcpTransport::connect(ws.addr(), Arc::clone(&server) as Arc<dyn ServerHandle>);
+        assert_eq!(
+            tcp.call(9, Request::ReportFmr { fmr: 0.1 })
+                .clone()
+                .into_new_d(),
+            crate::server::ServerConfig::default().initial_d
+        );
+        drop(tcp);
+        ws.shutdown();
+        assert_eq!(ws.stats().frames_rejected, 1);
+    }
+
+    #[test]
+    fn garbage_bytes_are_rejected() {
+        let (mut ws, _server) = served(50, 8);
+        let mut s = TcpStream::connect(ws.addr()).unwrap();
+        s.write_all(b"GET / HTTP/1.1\r\n\r\n").unwrap();
+        let mut buf = [0u8; 1];
+        assert_eq!(s.read(&mut buf).unwrap_or(0), 0, "bad magic closes");
+        drop(s);
+        ws.shutdown();
+        assert_eq!(ws.stats().frames_rejected, 1);
+    }
+
+    #[test]
+    fn forget_closes_the_connection_and_server_drains() {
+        let (mut ws, server) = served(150, 6);
+        let tcp = TcpTransport::connect(ws.addr(), Arc::clone(&server) as Arc<dyn ServerHandle>);
+        tcp.call(3, Request::ReportFmr { fmr: 0.2 });
+        assert_eq!(server.tracked_clients(), 1);
+        assert!(tcp.call(3, Request::Forget).into_forgotten());
+        assert_eq!(server.tracked_clients(), 0);
+        // The next call transparently reconnects.
+        tcp.call(3, Request::ReportFmr { fmr: 0.2 });
+        assert_eq!(server.tracked_clients(), 1);
+        drop(tcp);
+        ws.shutdown();
+        let stats = ws.stats();
+        assert_eq!(stats.requests_served, 3);
+        assert_eq!(stats.connections_accepted, 2, "forget dropped the socket");
+    }
+
+    #[test]
+    fn batched_policy_behind_the_socket_answers_identically() {
+        let server = Arc::new(sample_server(250, 12, FormPolicy::Adaptive));
+        let reference = sample_server(250, 12, FormPolicy::Adaptive);
+        let (mut ws, service) = WireServer::spawn_batched(
+            Arc::clone(&server),
+            BatchConfig::default(),
+            WireServerConfig::default(),
+        )
+        .unwrap();
+        let tcp = TcpTransport::connect(ws.addr(), Arc::clone(&server) as Arc<dyn ServerHandle>);
+        for client in 0..4u32 {
+            let spec = QuerySpec::Knn {
+                center: Point::new(0.2 + 0.15 * client as f64, 0.6),
+                k: 3,
+            };
+            let rq = cold_remainder(&reference, spec);
+            let got = tcp
+                .call(client, Request::Remainder(rq.clone()))
+                .into_remainder();
+            assert_eq!(got, reference.process_remainder(client, &rq));
+        }
+        assert_eq!(service.stats().batched_requests, 4);
+        drop(tcp);
+        ws.shutdown();
+    }
+}

@@ -284,6 +284,7 @@ impl ProactiveRunner {
                 epoch: self.epoch,
             };
             ledger.contacted_server = true;
+            ledger.contacts += 1;
             ledger.uplink_bytes += req.wire_bytes();
             ledger.server_time_s += server_time_s;
             let t = Instant::now();
@@ -417,6 +418,7 @@ impl ModelRunner for ProactiveRunner {
             Some(rq) => {
                 let req = Request::Remainder(rq.clone());
                 ledger.contacted_server = true;
+                ledger.contacts = 1;
                 ledger.uplink_bytes = req.wire_bytes();
                 ledger.server_time_s = server_time_s;
                 let t = Instant::now();

@@ -137,6 +137,7 @@ impl UpdatingClient {
             };
             out.round_trips += 1;
             out.ledger.contacted_server = true;
+            out.ledger.contacts += 1;
             out.ledger.uplink_bytes += req.wire_bytes();
             out.ledger.server_time_s += server_time_s;
             match server.call(self.client_id, req).into_versioned() {

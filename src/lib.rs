@@ -19,6 +19,9 @@
 //! * [`mobility`] — random-waypoint and directed mobility models (§6.1).
 //! * [`workload`] — synthetic datasets, query generation, Zipf sizes.
 //! * [`net`] — the 384 Kbps wireless channel model.
+//! * [`wire`] — the binary frame codec realizing the proto byte model;
+//!   `server::wire` drives it over TCP loopback (`WireServer` /
+//!   `TcpTransport`) so measured bytes cross-check modeled bytes.
 //! * [`sim`] — the end-to-end simulator and metrics (§6): per-client
 //!   `ClientSession`s, a scoped-thread `Fleet` driver with exactly
 //!   mergeable results, and single-client wrappers.
@@ -48,4 +51,5 @@ pub use pc_net as net;
 pub use pc_rtree as rtree;
 pub use pc_server as server;
 pub use pc_sim as sim;
+pub use pc_wire as wire;
 pub use pc_workload as workload;
