@@ -1,0 +1,61 @@
+//! The linter's own acceptance gate: the real workspace must lint clean.
+//!
+//! This is the test CI leans on — a fresh violation anywhere in the
+//! panic-free crates (an unreasoned `.unwrap()`, an unannotated
+//! `Ordering::*`, a guard held across a socket write, a drifted wire
+//! constant, or a stale/reasonless suppression) fails the suite with the
+//! finding list in the assertion message.
+
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    // crates/check -> crates -> workspace root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("crates/check sits two levels below the workspace root")
+        .to_path_buf()
+}
+
+#[test]
+fn the_workspace_lints_clean() {
+    let report = pc_check::run_lint(&workspace_root()).expect("lint walks the workspace");
+    assert!(report.files_scanned > 50, "scanned a real workspace");
+    let rendered: Vec<String> = report
+        .findings
+        .iter()
+        .map(|f| format!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message))
+        .collect();
+    assert!(
+        report.clean(),
+        "workspace has lint violations:\n{}",
+        rendered.join("\n")
+    );
+}
+
+#[test]
+fn every_suppression_is_reasoned_and_used() {
+    let report = pc_check::run_lint(&workspace_root()).expect("lint walks the workspace");
+    assert!(
+        !report.allowed.is_empty(),
+        "the burn-down left documented allows; zero means the scanner lost them"
+    );
+    for a in &report.allowed {
+        assert!(
+            !a.reason.trim().is_empty(),
+            "{}:{}: allow({}) without a reason survived",
+            a.file,
+            a.line,
+            a.rule
+        );
+    }
+}
+
+#[test]
+fn report_serializes_for_the_ci_artifact() {
+    let report = pc_check::run_lint(&workspace_root()).expect("lint walks the workspace");
+    let json = report.to_json();
+    assert!(json.contains("\"files_scanned\""));
+    assert!(json.contains("\"findings\""));
+    assert!(json.contains("\"allowed\""));
+}

@@ -14,6 +14,7 @@
 //! so the global count can overshoot the configured value by at most
 //! `SHARDS - 1`.
 
+use crate::sync_util::lock_recover;
 use std::collections::HashMap;
 use std::sync::Mutex;
 
@@ -72,7 +73,7 @@ pub struct AdaptiveController {
 impl Clone for AdaptiveController {
     fn clone(&self) -> Self {
         let shards = std::array::from_fn(|i| {
-            let shard = self.shards[i].lock().unwrap();
+            let shard = lock_recover(&self.shards[i]);
             Mutex::new(Shard {
                 states: shard.states.clone(),
                 clock: shard.clock,
@@ -120,9 +121,7 @@ impl AdaptiveController {
 
     /// Current d⁺-level for a client.
     pub fn d(&self, client: u32) -> u8 {
-        self.shard(client)
-            .lock()
-            .unwrap()
+        lock_recover(self.shard(client))
             .states
             .get(&client)
             .map(|e| e.state.d)
@@ -130,9 +129,7 @@ impl AdaptiveController {
     }
 
     pub fn state(&self, client: u32) -> AdaptiveState {
-        self.shard(client)
-            .lock()
-            .unwrap()
+        lock_recover(self.shard(client))
             .states
             .get(&client)
             .map(|e| e.state)
@@ -147,7 +144,7 @@ impl AdaptiveController {
     pub fn tracked_clients(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().unwrap().states.len())
+            .map(|s| lock_recover(s).states.len())
             .sum()
     }
 
@@ -155,9 +152,7 @@ impl AdaptiveController {
     /// whether anything was tracked. Lets a server forget disconnected
     /// clients instead of carrying their state forever.
     pub fn forget_client(&self, client: u32) -> bool {
-        self.shard(client)
-            .lock()
-            .unwrap()
+        lock_recover(self.shard(client))
             .states
             .remove(&client)
             .is_some()
@@ -186,7 +181,7 @@ impl AdaptiveController {
     /// epoch, and the client adopts it). Feeds
     /// [`epoch_low_water`](Self::epoch_low_water).
     pub fn note_epoch(&self, client: u32, epoch: u64) {
-        let mut shard = self.shard(client).lock().unwrap();
+        let mut shard = lock_recover(self.shard(client));
         shard.clock += 1;
         let clock = shard.clock;
         self.make_room(&mut shard, client);
@@ -213,8 +208,7 @@ impl AdaptiveController {
         self.shards
             .iter()
             .flat_map(|s| {
-                s.lock()
-                    .unwrap()
+                lock_recover(s)
                     .states
                     .values()
                     .filter_map(|e| e.state.last_epoch)
@@ -230,7 +224,7 @@ impl AdaptiveController {
     /// contrary, if it is lower than last fmr by s percent, d is decreased
     /// by 1. Otherwise, d remains its last value."
     pub fn report(&self, client: u32, fmr: f64) -> u8 {
-        let mut shard = self.shard(client).lock().unwrap();
+        let mut shard = lock_recover(self.shard(client));
         shard.clock += 1;
         let clock = shard.clock;
         self.make_room(&mut shard, client);

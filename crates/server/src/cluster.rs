@@ -30,6 +30,7 @@
 use crate::core::{PartitionOp, ServerCore, Snapshot};
 use crate::forms::build_shipments;
 use crate::server::{ClientId, Server, ServerConfig};
+use crate::sync_util::lock_recover;
 use crate::transport::{ServerHandle, Transport};
 use crate::updates::Update;
 use pc_geom::{Rect, TileGrid};
@@ -262,6 +263,7 @@ impl Cluster {
     /// tree per shard over the objects it owns. Panics on an invalid
     /// configuration ([`ClusterConfig::validate`]).
     pub fn new(store: ObjectStore, tree_cfg: RTreeConfig, cfg: ClusterConfig) -> Self {
+        // pc-check: allow(no-unwrap, "constructor precondition, documented 'Panics on an invalid configuration' above — a misconfigured cluster must never start serving")
         cfg.validate().expect("invalid ClusterConfig");
         let map = ShardMap::new(TileGrid::new(cfg.grid_per_axis()), cfg.shards);
         let shards: Vec<Server> = (0..cfg.shards)
@@ -324,16 +326,22 @@ impl Cluster {
 
     /// The current cluster epoch (bumped once per applied update batch).
     pub fn epoch(&self) -> u64 {
+        // ordering: Acquire pairs with the Release store at the end of
+        // `apply_updates`: observing epoch E implies E's history entry and
+        // every shard publish of batch E are visible too.
         self.epoch.load(Ordering::Acquire)
     }
 
     /// Router backplane counters since construction.
     pub fn stats(&self) -> ClusterStats {
+        // ordering: Relaxed — monotone stats counters; a snapshot is a
+        // report (exact-total tests read it after the fleet joins).
+        let ld = |c: &AtomicU64| c.load(Ordering::Relaxed);
         ClusterStats {
-            scatter_bytes: self.stats.scatter_bytes.load(Ordering::Relaxed),
-            gather_bytes: self.stats.gather_bytes.load(Ordering::Relaxed),
-            sub_queries: self.stats.sub_queries.load(Ordering::Relaxed),
-            duplicates_merged: self.stats.duplicates_merged.load(Ordering::Relaxed),
+            scatter_bytes: ld(&self.stats.scatter_bytes),
+            gather_bytes: ld(&self.stats.gather_bytes),
+            sub_queries: ld(&self.stats.sub_queries),
+            duplicates_merged: ld(&self.stats.duplicates_merged),
         }
     }
 
@@ -352,13 +360,17 @@ impl Cluster {
     /// excluding writers if churn outruns it.
     fn pin_all(&self) -> PinSet {
         for _ in 0..64 {
+            // ordering: Acquire pairs with `apply_updates`' Release store —
+            // seeing epoch E guarantees E's history entry is in `state`.
             let epoch = self.epoch.load(Ordering::Acquire);
             let vector = {
-                let state = self.state.lock().unwrap();
+                let state = lock_recover(&self.state);
                 self.entry_at(&state, epoch).map(|e| e.shard_epochs.clone())
             };
             let Some(vector) = vector else { continue };
             let pins: Vec<Arc<Snapshot>> = self.shards.iter().map(|sv| sv.core().pin()).collect();
+            // ordering: Acquire (same pairing as above) — the re-load
+            // validates no publish raced the per-shard pins.
             let consistent = pins.iter().zip(&vector).all(|(p, &want)| p.epoch() == want)
                 && self.epoch.load(Ordering::Acquire) == epoch;
             if consistent {
@@ -371,11 +383,14 @@ impl Cluster {
         }
         // Writers are publishing faster than we can pin: take the writer
         // lock for one consistent read.
-        let _writer = self.write.lock().unwrap();
+        let _writer = lock_recover(&self.write);
+        // ordering: Acquire — same pairing as the loop above; the writer
+        // lock additionally excludes concurrent publishes entirely.
         let epoch = self.epoch.load(Ordering::Acquire);
         let vector = {
-            let state = self.state.lock().unwrap();
+            let state = lock_recover(&self.state);
             self.entry_at(&state, epoch)
+                // pc-check: allow(no-unwrap, "invariant: pruning never pops the entry of the current epoch (the horizon is capped below it), and the writer lock held here excludes a concurrent bump")
                 .expect("current epoch is always in history")
                 .shard_epochs
                 .clone()
@@ -416,7 +431,7 @@ impl Cluster {
     /// Untouched shards only swap in the new store (no epoch bump), so
     /// their clients stay fresh. Returns the new cluster epoch.
     pub fn apply_updates(&self, updates: &[Update]) -> u64 {
-        let _writer = self.write.lock().unwrap();
+        let _writer = lock_recover(&self.write);
         let n = self.cfg.shards as usize;
         let base = self.shards[0].core().pin();
         let mut next_store = base.store().clone();
@@ -464,22 +479,24 @@ impl Cluster {
             let live_after = next_store.is_live(id);
             let final_mbr = next_store.get(id).mbr;
             for s in 0..self.cfg.shards {
-                let before = initial.is_some_and(|m| self.map.owns(s, &m));
+                // `Some(mbr)` iff shard `s` indexed the object at batch
+                // start — carrying the MBR instead of a bool keeps the
+                // delete/relocate arms total (no unwrap on a side channel).
+                let before = initial.filter(|m| self.map.owns(s, m));
                 let after = live_after && self.map.owns(s, &final_mbr);
                 match (before, after) {
-                    (true, false) => {
-                        ops[s as usize].push(PartitionOp::Delete(id, initial.unwrap()));
+                    (Some(from), false) => {
+                        ops[s as usize].push(PartitionOp::Delete(id, from));
                     }
-                    (false, true) => ops[s as usize].push(PartitionOp::Insert(id)),
-                    (true, true) => {
-                        let from = initial.unwrap();
+                    (None, true) => ops[s as usize].push(PartitionOp::Insert(id)),
+                    (Some(from), true) => {
                         if from != final_mbr {
                             ops[s as usize].push(PartitionOp::Relocate(id, from));
                         }
                     }
-                    (false, false) => {}
+                    (None, false) => {}
                 }
-                if before && !live_after {
+                if before.is_some() && !live_after {
                     tombs[s as usize].push(id);
                 }
             }
@@ -521,7 +538,9 @@ impl Cluster {
             })
             .collect();
 
-        let mut state = self.state.lock().unwrap();
+        let mut state = lock_recover(&self.state);
+        // ordering: Acquire — pairs with the Release below; the writer
+        // lock already serializes bumps, this read just picks up the last.
         let epoch = self.epoch.load(Ordering::Acquire) + 1;
         state.history.push_back(EpochEntry {
             epoch,
@@ -541,6 +560,10 @@ impl Cluster {
         }
         state.low_water = state.low_water.max(horizon);
         drop(state);
+        // ordering: Release — published only after every shard publish and
+        // the history push above; pairs with the Acquire loads in
+        // `epoch()` / `pin_all`, so an observer of epoch E can always
+        // resolve E's vector from history.
         self.epoch.store(epoch, Ordering::Release);
         epoch
     }
@@ -548,7 +571,7 @@ impl Cluster {
     /// Records `client`'s sync point (cluster epoch) for history pruning,
     /// evicting the most-behind entry past the tracked-client cap.
     fn note_client(&self, client: ClientId, epoch: u64) {
-        let mut state = self.state.lock().unwrap();
+        let mut state = lock_recover(&self.state);
         if !state.clients.contains_key(&client)
             && state.clients.len() >= self.cfg.server.max_tracked_clients
         {
@@ -590,7 +613,7 @@ impl Cluster {
         self.note_client(client, set.epoch);
 
         let entry = {
-            let state = self.state.lock().unwrap();
+            let state = lock_recover(&self.state);
             if client_epoch < state.low_water {
                 None
             } else {
@@ -714,7 +737,9 @@ impl Cluster {
                         cands.push((spec.key_for(&pin.store().get(id).mbr), id));
                     }
                 }
-                cands.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+                // total_cmp: distance keys are never NaN, and a total
+                // order costs nothing over the panicking partial_cmp.
+                cands.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
                 // Same id ⇒ same MBR ⇒ same key: duplicates are adjacent.
                 cands.dedup_by_key(|c| c.1);
                 cands.truncate(k as usize);
@@ -911,6 +936,7 @@ impl Cluster {
                     heap,
                 },
             };
+            // ordering: Relaxed — monotone stats counters (see `stats`).
             self.stats
                 .scatter_bytes
                 .fetch_add(req.wire_bytes(), Ordering::Relaxed);
@@ -1002,6 +1028,7 @@ impl Cluster {
                     expansions: out.expansions,
                 },
             };
+            // ordering: Relaxed — monotone stats counter (see `stats`).
             self.stats
                 .gather_bytes
                 .fetch_add(sub_reply.wire_bytes(), Ordering::Relaxed);
@@ -1041,6 +1068,7 @@ impl Cluster {
             }
         }
         if dups > 0 {
+            // ordering: Relaxed — monotone stats counter (see `stats`).
             self.stats
                 .duplicates_merged
                 .fetch_add(dups, Ordering::Relaxed);
@@ -1056,7 +1084,8 @@ impl Cluster {
                 cands.sort_by(|a, b| {
                     let ka = rq.spec.key_for(&a.0.mbr);
                     let kb = rq.spec.key_for(&b.0.mbr);
-                    ka.partial_cmp(&kb).unwrap().then(a.0.id.cmp(&b.0.id))
+                    // total_cmp: distance keys are never NaN (see above).
+                    ka.total_cmp(&kb).then(a.0.id.cmp(&b.0.id))
                 });
                 cands.truncate(budget);
             }
@@ -1104,9 +1133,9 @@ impl SuperLayout {
         let mut mbrs = Vec::new();
         let mut level = 0u16;
         for (s, pin) in pins.iter().enumerate() {
-            if pin.tree().root_mbr().is_some() {
+            if let Some(mbr) = pin.tree().root_mbr() {
                 members.push(s as u32);
-                mbrs.push(pin.tree().root_mbr().unwrap());
+                mbrs.push(mbr);
                 let root = pin.tree().root();
                 level = level.max(pin.tree().node(root).level + 1);
             }
@@ -1126,6 +1155,7 @@ impl SuperLayout {
             .into_iter()
             .map(|(code, cell)| {
                 let BptCellKind::Leaf { entry_idx } = cell.kind else {
+                    // pc-check: allow(no-unwrap, "invariant by construction: Bpt::leaf_cells yields only leaf cells; an internal here means the BPT itself is corrupt")
                     unreachable!("leaf_cells returns leaves");
                 };
                 let s = self.members[entry_idx as usize];
@@ -1160,6 +1190,7 @@ impl IndexView for ClusterView<'_> {
     fn root(&self) -> Option<(Rect, CellRef)> {
         let mut mbr: Option<Rect> = None;
         for &m in &self.layout.members {
+            // pc-check: allow(no-unwrap, "invariant: `members` was built from these same pins and lists exactly the shards whose pinned root existed")
             let r = self.pins[m as usize].tree().root_mbr().unwrap();
             mbr = Some(match mbr {
                 Some(u) => u.union(&r),
@@ -1248,6 +1279,7 @@ impl IndexView for ClusterView<'_> {
                     };
                     Expansion::Children(vec![child])
                 }
+                // pc-check: allow(no-unwrap, "invariant by construction: the expansion path above already resolved internal cells via children(), so only leaves reach this match")
                 BptCellKind::Internal { .. } => unreachable!("children() covered internals"),
             },
             None => {
@@ -1289,7 +1321,7 @@ impl Transport for Cluster {
                 for shard in &self.shards {
                     any |= shard.forget_client(client);
                 }
-                self.state.lock().unwrap().clients.remove(&client);
+                lock_recover(&self.state).clients.remove(&client);
                 Response::Forgotten(any)
             }
         }

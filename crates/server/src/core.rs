@@ -15,6 +15,7 @@
 
 use crate::epoch::SnapshotCell;
 use crate::forms::{build_shipments, FormMode};
+use crate::sync_util::lock_recover;
 use crate::updates::{Update, UpdateLog};
 use pc_rtree::bpt::BptStore;
 use pc_rtree::engine::{execute, resume, AccessLog, NoopTracer, Outcome};
@@ -232,7 +233,7 @@ impl ServerCore {
         client_floor: Option<u64>,
         max_history: u64,
     ) -> u64 {
-        let _writer = self.write.lock().unwrap();
+        let _writer = lock_recover(&self.write);
         let mut next = Snapshot::clone(&self.pin());
         let mut deleted: Vec<pc_rtree::ObjectId> = Vec::new();
         for u in updates {
@@ -300,7 +301,7 @@ impl ServerCore {
         client_floor: Option<u64>,
         max_history: u64,
     ) -> u64 {
-        let _writer = self.write.lock().unwrap();
+        let _writer = lock_recover(&self.write);
         let mut next = Snapshot::clone(&self.pin());
         *next.store_mut() = store;
         for op in ops {
@@ -345,7 +346,7 @@ impl ServerCore {
     /// while globally-assigned ids stay resolvable for byte sizing no
     /// matter which shard's snapshot a session pins.
     pub fn refresh_store(&self, store: ObjectStore) {
-        let _writer = self.write.lock().unwrap();
+        let _writer = lock_recover(&self.write);
         let mut next = Snapshot::clone(&self.pin());
         *next.store_mut() = store;
         self.snap.publish(next);

@@ -19,6 +19,7 @@
 //! readers never block while *using* a snapshot, a swap never blocks on
 //! readers, and no reader can ever observe a half-updated world.
 
+use crate::sync_util::{read_recover, write_recover};
 use std::sync::{Arc, RwLock};
 
 /// A published immutable snapshot, swappable in one atomic step.
@@ -36,7 +37,7 @@ impl<T> SnapshotCell<T> {
     /// Pins the current snapshot: the returned `Arc` stays valid (and
     /// internally consistent) across any number of concurrent publishes.
     pub fn pin(&self) -> Arc<T> {
-        self.current.read().unwrap().clone()
+        read_recover(&self.current).clone()
     }
 
     /// Publishes `next` as the new current snapshot. Readers pinned to the
@@ -47,7 +48,7 @@ impl<T> SnapshotCell<T> {
     pub fn publish(&self, next: T) {
         let next = Arc::new(next);
         let old = {
-            let mut guard = self.current.write().unwrap();
+            let mut guard = write_recover(&self.current);
             std::mem::replace(&mut *guard, next)
         };
         // When no reader still pins it, the old snapshot deallocates here
@@ -89,6 +90,9 @@ mod tests {
         std::thread::scope(|scope| {
             for _ in 0..3 {
                 scope.spawn(|| {
+                    // ordering: Acquire pairs with the Release store after
+                    // the last publish, so a reader that sees `stop` also
+                    // sees publish 499 — pinning the final-value assert.
                     while !stop.load(Ordering::Acquire) {
                         let snap = cell.pin();
                         assert_eq!(snap.0, snap.1, "snapshot observed mid-update");
@@ -98,6 +102,8 @@ mod tests {
             for i in 1..500u64 {
                 cell.publish((i, i));
             }
+            // ordering: Release publishes "all 499 publishes happened"
+            // to the Acquire loads in the reader loops above.
             stop.store(true, Ordering::Release);
         });
         assert_eq!(*cell.pin(), (499, 499));

@@ -30,6 +30,7 @@ pub mod epoch;
 mod forms;
 mod server;
 pub mod service;
+pub mod sync_util;
 #[cfg(test)]
 mod test_util;
 pub mod transport;

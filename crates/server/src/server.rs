@@ -119,6 +119,7 @@ impl Server {
     /// once and stand up policy façades around it). Panics on an invalid
     /// configuration ([`ServerConfig::validate`]).
     pub fn from_core(core: ServerCore, cfg: ServerConfig) -> Self {
+        // pc-check: allow(no-unwrap, "constructor precondition, documented 'Panics on an invalid configuration' above; no locks or waiters exist yet, so failing fast beats carrying a Result through every deployment path")
         cfg.validate().expect("invalid ServerConfig");
         Server {
             core,

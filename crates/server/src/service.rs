@@ -35,6 +35,7 @@
 
 use crate::core::Snapshot;
 use crate::server::{ClientId, Server};
+use crate::sync_util::{lock_recover, wait_recover};
 use crate::transport::{dispatch, ServerHandle, Transport};
 use crate::{FormMode, ServerCore};
 use pc_rtree::proto::{RemainderQuery, Request, Response, VersionedReply};
@@ -89,6 +90,16 @@ impl ServiceStats {
     }
 }
 
+/// A parked request's reply slot.
+enum SlotState {
+    /// Not served yet.
+    Empty,
+    Served(Response),
+    /// The flusher that drained this request died before serving it; the
+    /// waiter must fail loudly rather than re-flush an empty queue forever.
+    Orphaned,
+}
+
 /// One queued remainder waiting for a flusher.
 struct Pending {
     rq: RemainderQuery,
@@ -101,7 +112,20 @@ struct Pending {
     /// or an `apply_updates` swap mid-batch would split the batch across
     /// epochs.
     snap: Arc<Snapshot>,
-    slot: Arc<Mutex<Option<Response>>>,
+    slot: Arc<Mutex<SlotState>>,
+}
+
+impl Drop for Pending {
+    fn drop(&mut self) {
+        // A `Pending` dropped before its slot was served means its flusher
+        // unwound mid-batch (the normal paths serve first, then drop).
+        // Mark the slot so the waiter fails loudly; the `FlushReset` guard
+        // dropping after us clears `flushing` and wakes the shard.
+        let mut s = lock_recover(&self.slot);
+        if matches!(*s, SlotState::Empty) {
+            *s = SlotState::Orphaned;
+        }
+    }
 }
 
 impl Pending {
@@ -147,6 +171,24 @@ struct Shard {
     queue: Mutex<ShardQueue>,
     /// Signals both "a flush delivered replies" and "queue space freed".
     wake: Condvar,
+}
+
+/// Clears `flushing` and wakes the shard when dropped — on *every* exit
+/// from a flush, including a panic unwinding out of `Pending::execute`.
+/// Without it a dying flusher leaves `flushing` set forever and every
+/// later caller parks on the condvar with no one left to wake it (the
+/// PR 8 hung-fleet failure family).
+struct FlushReset<'a> {
+    shard: &'a Shard,
+}
+
+impl Drop for FlushReset<'_> {
+    fn drop(&mut self) {
+        let mut q = lock_recover(&self.shard.queue);
+        q.flushing = false;
+        drop(q);
+        self.shard.wake.notify_all();
+    }
 }
 
 /// The batched remainder front-end. Implements [`ServerHandle`], so a
@@ -203,10 +245,13 @@ impl<S: Borrow<Server> + Send + Sync> BatchedService<S> {
     }
 
     pub fn stats(&self) -> ServiceStats {
+        // ordering: Relaxed — monotone stats counters; a snapshot is a
+        // report (exact-total tests read it after joins order the totals).
+        let ld = |c: &AtomicU64| c.load(Ordering::Relaxed);
         ServiceStats {
-            batches: self.batches.load(Ordering::Relaxed),
-            batched_requests: self.batched_requests.load(Ordering::Relaxed),
-            max_batch: self.max_batch_seen.load(Ordering::Relaxed),
+            batches: ld(&self.batches),
+            batched_requests: ld(&self.batched_requests),
+            max_batch: ld(&self.max_batch_seen),
         }
     }
 
@@ -216,9 +261,12 @@ impl<S: Borrow<Server> + Send + Sync> BatchedService<S> {
     }
 
     fn note_batch(&self, len: usize) {
+        // ordering: Relaxed — monotone stats counters (see `stats`); the
+        // max is a fetch_max, so concurrent flushers cannot lose it.
         self.batches.fetch_add(1, Ordering::Relaxed);
         self.batched_requests
             .fetch_add(len as u64, Ordering::Relaxed);
+        // ordering: Relaxed — monotone max, same contract as above.
         self.max_batch_seen.fetch_max(len as u64, Ordering::Relaxed);
     }
 
@@ -243,11 +291,11 @@ impl<S: Borrow<Server> + Send + Sync> BatchedService<S> {
             epoch,
             mode: server.remainder_mode(client),
             snap,
-            slot: Arc::new(Mutex::new(None)),
+            slot: Arc::new(Mutex::new(SlotState::Empty)),
         };
-        let mut q = shard.queue.lock().unwrap();
+        let mut q = lock_recover(&shard.queue);
         while q.pending.len() >= self.cfg.queue_cap {
-            q = shard.wake.wait(q).unwrap();
+            q = wait_recover(&shard.wake, q);
         }
         if q.pending.is_empty() && !q.flushing {
             // Uncontended fast path: nothing queued to coalesce with, so
@@ -258,22 +306,28 @@ impl<S: Borrow<Server> + Send + Sync> BatchedService<S> {
             // whichever wakes unserved flushes them as one batch.
             q.flushing = true;
             drop(q);
+            // Cleared + notified however `execute` exits, panic included.
+            let _reset = FlushReset { shard };
             self.note_batch(1);
-            let reply = pending.execute();
-            let mut q = shard.queue.lock().unwrap();
-            q.flushing = false;
-            drop(q);
-            shard.wake.notify_all();
-            return reply;
+            return pending.execute();
         }
         let slot = Arc::clone(&pending.slot);
         q.pending.push_back(pending);
         loop {
-            if let Some(reply) = slot.lock().unwrap().take() {
-                return reply;
+            {
+                let mut s = lock_recover(&slot);
+                match std::mem::replace(&mut *s, SlotState::Empty) {
+                    SlotState::Served(reply) => return reply,
+                    SlotState::Orphaned => {
+                        drop(s);
+                        // pc-check: allow(no-unwrap, "deliberate loud propagation: the flusher that drained this request panicked before serving it, and silently retrying would re-run a request the server may have half-observed")
+                        panic!("batched service: flusher died before serving this request");
+                    }
+                    SlotState::Empty => {}
+                }
             }
             if q.flushing {
-                q = shard.wake.wait(q).unwrap();
+                q = wait_recover(&shard.wake, q);
                 continue;
             }
             // Become the flusher and drain up to max_batch in FIFO order.
@@ -282,6 +336,11 @@ impl<S: Borrow<Server> + Send + Sync> BatchedService<S> {
             // either way the loop re-checks the slot and re-flushes until
             // it is served, so replies only ever travel through slots.
             q.flushing = true;
+            // Declared before `batch` so that, if `execute` panics, the
+            // unwind drops the remaining `Pending`s first (orphaning their
+            // slots) and only then clears `flushing` and wakes the shard —
+            // waiters observe a consistent picture either way.
+            let reset = FlushReset { shard };
             let n = q.pending.len().min(self.cfg.max_batch);
             let batch: Vec<Pending> = q.pending.drain(..n).collect();
             drop(q);
@@ -294,12 +353,11 @@ impl<S: Borrow<Server> + Send + Sync> BatchedService<S> {
             // snapshot it pinned at call time.
             for p in batch {
                 let reply = p.execute();
-                *p.slot.lock().unwrap() = Some(reply);
+                *lock_recover(&p.slot) = SlotState::Served(reply);
             }
 
-            q = shard.queue.lock().unwrap();
-            q.flushing = false;
-            shard.wake.notify_all();
+            drop(reset);
+            q = lock_recover(&shard.queue);
         }
     }
 }

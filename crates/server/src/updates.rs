@@ -542,6 +542,9 @@ mod tests {
                 let stop = &stop;
                 scope.spawn(move || {
                     let w = Rect::centered_square(Point::new(0.2 + 0.2 * t as f64, 0.5), 0.25);
+                    // ordering: Acquire pairs with the Release store after
+                    // the last update, so readers that observe `stop` also
+                    // observe all 40 published epochs.
                     while !stop.load(Ordering::Acquire) {
                         let snap = server.snapshot();
                         let got = snap.direct(&QuerySpec::Range { window: w });
@@ -576,6 +579,8 @@ mod tests {
                 };
                 server.apply_updates(&[update]);
             }
+            // ordering: Release publishes "all updates applied" to the
+            // Acquire loads in the reader loops above.
             stop.store(true, Ordering::Release);
         });
         assert_eq!(server.snapshot().epoch(), 40);
@@ -712,6 +717,9 @@ mod tests {
                     scope.spawn(move || {
                         let mut last_epoch = 0u64;
                         loop {
+                            // ordering: Acquire pairs with the Release store
+                            // after the last batch — a reader that sees
+                            // `stop` runs one final full-consistency pass.
                             let done = stop.load(Ordering::Acquire);
                             let snap = server.snapshot();
                             assert!(snap.epoch() >= last_epoch, "epoch ran backwards");
@@ -802,6 +810,8 @@ mod tests {
                         );
                     }
                 }
+                // ordering: Release publishes "all batches applied" to the
+                // Acquire loads in the reader loops above.
                 stop.store(true, Ordering::Release);
             });
         }

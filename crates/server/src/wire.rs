@@ -31,6 +31,7 @@
 
 use crate::server::{ClientId, Server};
 use crate::service::{BatchConfig, BatchedService};
+use crate::sync_util::{lock_recover, wait_recover};
 use crate::transport::{ServerHandle, Transport};
 use crate::updates::Update;
 use crate::ServerCore;
@@ -95,13 +96,18 @@ struct ServerCounters {
 
 impl ServerCounters {
     fn snapshot(&self) -> WireServerStats {
+        // ordering: Relaxed — monotone stats counters; a snapshot is a
+        // report, not a synchronization point. Tests read the exact totals
+        // only after `shutdown()` joins every serving thread, where the
+        // join edge supplies the stronger happens-before.
+        let ld = |c: &AtomicU64| c.load(Ordering::Relaxed);
         WireServerStats {
-            connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
-            requests_served: self.requests_served.load(Ordering::Relaxed),
-            frames_rejected: self.frames_rejected.load(Ordering::Relaxed),
-            requests_aborted: self.requests_aborted.load(Ordering::Relaxed),
-            rx_frame_bytes: self.rx_frame_bytes.load(Ordering::Relaxed),
-            tx_frame_bytes: self.tx_frame_bytes.load(Ordering::Relaxed),
+            connections_accepted: ld(&self.connections_accepted),
+            requests_served: ld(&self.requests_served),
+            frames_rejected: ld(&self.frames_rejected),
+            requests_aborted: ld(&self.requests_aborted),
+            rx_frame_bytes: ld(&self.rx_frame_bytes),
+            tx_frame_bytes: ld(&self.tx_frame_bytes),
         }
     }
 }
@@ -156,6 +162,9 @@ fn read_exact_stoppable(stream: &mut TcpStream, buf: &mut [u8], stop: &AtomicBoo
                     std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
                 ) =>
             {
+                // ordering: Relaxed — standalone stop flag carrying no
+                // data; this loop re-loads it every timeout tick, so cache
+                // coherence alone bounds how stale a read can be.
                 if stop.load(Ordering::Relaxed) {
                     if filled == 0 {
                         return ReadOutcome::Drained;
@@ -188,6 +197,7 @@ fn handle_connection(
             ReadOutcome::Ok => {}
             ReadOutcome::Eof | ReadOutcome::Drained => return,
             ReadOutcome::Failed => {
+                // ordering: Relaxed — monotone stats counter (see snapshot).
                 stats.frames_rejected.fetch_add(1, Ordering::Relaxed);
                 return;
             }
@@ -197,11 +207,13 @@ fn handle_connection(
             Err(_) => {
                 // Bad magic/version: the stream is desynchronized beyond
                 // recovery — close it.
+                // ordering: Relaxed — monotone stats counter (see snapshot).
                 stats.frames_rejected.fetch_add(1, Ordering::Relaxed);
                 return;
             }
         };
         if header.body_len as u64 > cfg.max_frame_bytes || !tag::is_request(header.tag) {
+            // ordering: Relaxed — monotone stats counter (see snapshot).
             stats.frames_rejected.fetch_add(1, Ordering::Relaxed);
             return;
         }
@@ -209,16 +221,19 @@ fn handle_connection(
         match read_exact_stoppable(&mut stream, &mut body, stop) {
             ReadOutcome::Ok => {}
             _ => {
+                // ordering: Relaxed — monotone stats counter (see snapshot).
                 stats.frames_rejected.fetch_add(1, Ordering::Relaxed);
                 return;
             }
         }
+        // ordering: Relaxed — monotone stats counter (see snapshot).
         stats
             .rx_frame_bytes
             .fetch_add(FRAME_HEADER_BYTES + body.len() as u64, Ordering::Relaxed);
         let req = match decode_request(header.tag, &body) {
             Ok(r) => r,
             Err(_) => {
+                // ordering: Relaxed — monotone stats counter (see snapshot).
                 stats.requests_aborted.fetch_add(1, Ordering::Relaxed);
                 return;
             }
@@ -228,6 +243,7 @@ fn handle_connection(
         if stream.write_all(&frame).is_err() {
             return;
         }
+        // ordering: Relaxed — monotone stats counters (see snapshot).
         stats
             .tx_frame_bytes
             .fetch_add(frame.len() as u64, Ordering::Relaxed);
@@ -254,10 +270,15 @@ impl WireServer {
                 .spawn(move || {
                     let mut conns: Vec<JoinHandle<()>> = Vec::new();
                     for incoming in listener.incoming() {
+                        // ordering: Relaxed — stop flag re-loaded once per
+                        // accepted connection; `shutdown` keeps sending wake
+                        // connections until this thread exits, so a stale
+                        // read here only costs one more wake round.
                         if stop.load(Ordering::Relaxed) {
                             break;
                         }
                         let Ok(stream) = incoming else { continue };
+                        // ordering: Relaxed — monotone stats counter.
                         stats.connections_accepted.fetch_add(1, Ordering::Relaxed);
                         let handle = Arc::clone(&handle);
                         let stop = Arc::clone(&stop);
@@ -267,10 +288,14 @@ impl WireServer {
                             .spawn(move || {
                                 handle_connection(stream, &handle, cfg, &stop, &stats);
                             })
+                            // pc-check: allow(no-unwrap, "spawn fails only on OS resource exhaustion; panicking the accept thread stops intake while live connections drain — better than silently dropping the accepted socket")
                             .expect("spawn connection thread");
                         conns.push(t);
                         conns.retain(|t| !t.is_finished());
                     }
+                    // Close the listener before draining so late shutdown
+                    // wake connections are refused instead of queued.
+                    drop(listener);
                     // Drain: every connection finishes its in-flight work.
                     for t in conns {
                         let _ = t.join();
@@ -309,15 +334,20 @@ impl WireServer {
 
     /// Stops accepting, drains every connection and joins all threads.
     pub fn shutdown(&mut self) {
-        if self.accept.is_none() {
-            return;
-        }
+        let Some(t) = self.accept.take() else { return };
+        // A single one-shot wake could race a not-yet-visible flag store
+        // and leave the loop parked in accept() forever; the wake below
+        // therefore retries until the accept thread confirms exit.
+        // ordering: Relaxed — every wake forces another load of the stop
+        // flag, and coherence makes the store visible within finitely
+        // many rounds.
         self.stop.store(true, Ordering::Relaxed);
-        // Wake the blocking accept with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(t) = self.accept.take() {
-            let _ = t.join();
+        while !t.is_finished() {
+            // Refused once the accept loop drops the listener to drain.
+            let _ = TcpStream::connect(self.addr);
+            std::thread::sleep(Duration::from_millis(1));
         }
+        let _ = t.join();
     }
 }
 
@@ -369,6 +399,52 @@ struct TransportCounters {
     rx_overhead: AtomicU64,
 }
 
+impl TransportCounters {
+    /// Accounts one encoded request frame about to hit the wire.
+    fn note_tx(&self, frame_len: u64, req: &Request) {
+        // ordering: Relaxed — monotone stats counters; readers are reports
+        // tolerating inter-counter skew (joins order the final totals).
+        self.tx_frames.fetch_add(1, Ordering::Relaxed);
+        self.tx_bytes.fetch_add(frame_len, Ordering::Relaxed);
+        // ordering: Relaxed — monotone stats counter (as above).
+        self.modeled_tx
+            .fetch_add(req.wire_bytes(), Ordering::Relaxed);
+        // ordering: Relaxed — monotone stats counter (as above).
+        self.tx_overhead
+            .fetch_add(request_overhead(req), Ordering::Relaxed);
+    }
+
+    /// Accounts one decoded response frame read off the wire.
+    fn note_rx(&self, frame_len: u64, resp: &Response) {
+        // ordering: Relaxed — monotone stats counters; same report-only
+        // contract as `note_tx` above.
+        self.rx_frames.fetch_add(1, Ordering::Relaxed);
+        self.rx_bytes.fetch_add(frame_len, Ordering::Relaxed);
+        // ordering: Relaxed — monotone stats counter (as above).
+        self.modeled_rx
+            .fetch_add(resp.wire_bytes(), Ordering::Relaxed);
+        // ordering: Relaxed — monotone stats counter (as above).
+        self.rx_overhead
+            .fetch_add(response_overhead(resp), Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> WireTransportStats {
+        // ordering: Relaxed — monotone stats counters; a snapshot is a
+        // report, not a synchronization point (see note_tx / note_rx).
+        let ld = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        WireTransportStats {
+            tx_frames: ld(&self.tx_frames),
+            rx_frames: ld(&self.rx_frames),
+            tx_bytes: ld(&self.tx_bytes),
+            rx_bytes: ld(&self.rx_bytes),
+            modeled_tx_bytes: ld(&self.modeled_tx),
+            modeled_rx_bytes: ld(&self.modeled_rx),
+            tx_overhead_bytes: ld(&self.tx_overhead),
+            rx_overhead_bytes: ld(&self.rx_overhead),
+        }
+    }
+}
+
 /// One client's connection: a write half guarded by a mutex (frames are
 /// written atomically), a reader thread demultiplexing responses into
 /// per-`seq` slots, and a monotone `seq` counter. Multiple in-flight
@@ -411,16 +487,8 @@ impl Conn {
                         let Ok(resp) = decode_response(frame.header.tag, &frame.body) else {
                             break;
                         };
-                        let len = FRAME_HEADER_BYTES + frame.body.len() as u64;
-                        counters.rx_frames.fetch_add(1, Ordering::Relaxed);
-                        counters.rx_bytes.fetch_add(len, Ordering::Relaxed);
-                        counters
-                            .modeled_rx
-                            .fetch_add(resp.wire_bytes(), Ordering::Relaxed);
-                        counters
-                            .rx_overhead
-                            .fetch_add(response_overhead(&resp), Ordering::Relaxed);
-                        let mut slots = conn.slots.lock().unwrap();
+                        counters.note_rx(FRAME_HEADER_BYTES + frame.body.len() as u64, &resp);
+                        let mut slots = lock_recover(&conn.slots);
                         slots.insert(frame.header.seq, Some(resp));
                         conn.ready.notify_all();
                         drop(slots);
@@ -428,24 +496,34 @@ impl Conn {
                     // Whatever ended the stream (orderly close, reset,
                     // undecodable frame), parked waiters must observe it —
                     // fail fast, never hang on the condvar.
-                    conn.dead.store(true, Ordering::Relaxed);
-                    conn.ready.notify_all();
+                    conn.mark_dead();
                 })?
         };
-        *conn.reader.lock().unwrap() = Some(reader);
+        *lock_recover(&conn.reader) = Some(reader);
         Ok(conn)
     }
 
-    fn close(&self) {
+    /// Marks the connection dead and wakes every parked waiter. The flag
+    /// flips *under the slots lock*: a waiter holds that lock continuously
+    /// from its dead-check to its condvar park, so it either sees the flag
+    /// or is parked when `notify_all` fires — the lost-wakeup window of a
+    /// lock-free store/notify pair cannot occur.
+    fn mark_dead(&self) {
+        let _slots = lock_recover(&self.slots);
+        // ordering: Relaxed — the slots mutex (held here and by `wait`)
+        // carries the happens-before; the atomic only lets `conn()` peek
+        // without the lock, where a stale read is benign (one wasted reuse
+        // attempt that then fails loudly in `wait`).
         self.dead.store(true, Ordering::Relaxed);
-        let _ = self.stream.shutdown(Shutdown::Both);
         self.ready.notify_all();
-        if let Some(t) = self.reader.lock().unwrap().take() {
+    }
+
+    fn close(&self) {
+        self.mark_dead();
+        let _ = self.stream.shutdown(Shutdown::Both);
+        if let Some(t) = lock_recover(&self.reader).take() {
             let _ = t.join();
         }
-        // The reader died with requests possibly still parked: wake them
-        // so they can observe `dead` instead of waiting forever.
-        self.ready.notify_all();
     }
 }
 
@@ -481,26 +559,20 @@ impl TcpTransport {
     }
 
     pub fn stats(&self) -> WireTransportStats {
-        let c = &self.counters;
-        WireTransportStats {
-            tx_frames: c.tx_frames.load(Ordering::Relaxed),
-            rx_frames: c.rx_frames.load(Ordering::Relaxed),
-            tx_bytes: c.tx_bytes.load(Ordering::Relaxed),
-            rx_bytes: c.rx_bytes.load(Ordering::Relaxed),
-            modeled_tx_bytes: c.modeled_tx.load(Ordering::Relaxed),
-            modeled_rx_bytes: c.modeled_rx.load(Ordering::Relaxed),
-            tx_overhead_bytes: c.tx_overhead.load(Ordering::Relaxed),
-            rx_overhead_bytes: c.rx_overhead.load(Ordering::Relaxed),
-        }
+        self.counters.snapshot()
     }
 
     fn conn(&self, client: ClientId) -> Arc<Conn> {
-        let mut conns = self.conns.lock().unwrap();
+        let mut conns = lock_recover(&self.conns);
         if let Some(c) = conns.get(&client) {
+            // ordering: Relaxed — lock-free peek at the dead flag; a stale
+            // `false` merely reuses a dying connection, which then fails
+            // loudly in `wait` (see `Conn::mark_dead`).
             if !c.dead.load(Ordering::Relaxed) {
                 return Arc::clone(c);
             }
         }
+        // pc-check: allow(no-unwrap, "client-side harness precondition: the loopback server runs in this same process, so a refused connect is unrecoverable setup breakage — fail fast at the first call")
         let c = Conn::open(self.addr, Arc::clone(&self.counters), self.max_frame_bytes)
             .expect("wire transport: connect to loopback server");
         conns.insert(client, Arc::clone(&c));
@@ -509,40 +581,48 @@ impl TcpTransport {
 
     /// Sends one request frame, returning its `seq` for [`Self::wait`].
     fn send(&self, conn: &Conn, client: ClientId, req: &Request) -> u32 {
+        // ordering: Relaxed — `seq` only needs per-connection uniqueness,
+        // which fetch_add's atomicity alone provides; replies are matched
+        // back to waiters by value under the slots lock.
         let seq = conn.seq.fetch_add(1, Ordering::Relaxed);
         let frame = encode_request(client, seq, req);
-        self.counters.tx_frames.fetch_add(1, Ordering::Relaxed);
-        self.counters
-            .tx_bytes
-            .fetch_add(frame.len() as u64, Ordering::Relaxed);
-        self.counters
-            .modeled_tx
-            .fetch_add(req.wire_bytes(), Ordering::Relaxed);
-        self.counters
-            .tx_overhead
-            .fetch_add(request_overhead(req), Ordering::Relaxed);
+        self.counters.note_tx(frame.len() as u64, req);
         // Reserve the slot before the bytes hit the wire: the reader must
         // always find somewhere to park the reply.
-        conn.slots.lock().unwrap().insert(seq, None);
-        let mut w = conn.write.lock().unwrap();
-        w.write_all(&frame)
-            .expect("wire transport: write request frame");
+        lock_recover(&conn.slots).insert(seq, None);
+        let w_result = {
+            // The write mutex *is* held across this blocking write by
+            // design: it serializes whole frames onto the shared socket,
+            // and nothing else ever contends on it mid-request.
+            let mut w = lock_recover(&conn.write);
+            w.write_all(&frame)
+        };
+        if w_result.is_err() {
+            // The kernel refused the frame (peer reset / shutdown mid-
+            // send). Flag the connection so this request's `wait` — and
+            // every other parked waiter — fails loudly instead of hanging.
+            conn.mark_dead();
+        }
         seq
     }
 
     fn wait(&self, conn: &Conn, seq: u32) -> Response {
-        let mut slots = conn.slots.lock().unwrap();
+        let mut slots = lock_recover(&conn.slots);
         loop {
             if let Some(slot) = slots.get_mut(&seq) {
-                if slot.is_some() {
-                    return slots.remove(&seq).unwrap().unwrap();
+                if let Some(resp) = slot.take() {
+                    slots.remove(&seq);
+                    return resp;
                 }
             }
+            // ordering: Relaxed — read under the slots mutex that
+            // `Conn::mark_dead` holds while flipping the flag; the lock
+            // supplies the happens-before.
             assert!(
                 !conn.dead.load(Ordering::Relaxed),
                 "wire transport: connection died awaiting reply seq {seq}"
             );
-            slots = conn.ready.wait(slots).unwrap();
+            slots = wait_recover(&conn.ready, slots);
         }
     }
 
@@ -561,14 +641,14 @@ impl TcpTransport {
 
     /// Closes `client`'s connection (the server handler sees EOF).
     pub fn disconnect(&self, client: ClientId) {
-        if let Some(c) = self.conns.lock().unwrap().remove(&client) {
+        if let Some(c) = lock_recover(&self.conns).remove(&client) {
             c.close();
         }
     }
 
     /// Closes every connection.
     pub fn disconnect_all(&self) {
-        let conns: Vec<Arc<Conn>> = self.conns.lock().unwrap().drain().map(|(_, c)| c).collect();
+        let conns: Vec<Arc<Conn>> = lock_recover(&self.conns).drain().map(|(_, c)| c).collect();
         for c in conns {
             c.close();
         }

@@ -101,6 +101,7 @@ pub fn peer_serve(
             confirmed.push(id);
         } else if let Some(item) = cache.get(ItemKey::Object(id)) {
             let ItemData::Object(so) = &item.data else {
+                // pc-check: allow(no-unwrap, "cache key-space invariant: ItemKey::Object entries always hold ItemData::Object (enforced at every insert site); single-threaded sim, no waiters to strand")
                 unreachable!("object key holds object data")
             };
             objects.push(*so);
@@ -109,6 +110,7 @@ pub fn peer_serve(
             // Confirmed purely from origin-held payload we mis-flagged?
             // Cannot happen: confirmation requires cached=true, which is
             // origin_holds ∨ peer_holds.
+            // pc-check: allow(no-unwrap, "engine invariant spelled out above: cached=true implies one of the two sides holds the object; single-threaded sim, no waiters to strand")
             unreachable!("confirmed object held by neither side")
         }
     }
@@ -181,6 +183,7 @@ fn restore_entry(
 fn ship_from_cache(cache: &ProactiveCache, node: NodeId) -> Option<NodeShipment> {
     let item = cache.get(ItemKey::Node(node))?;
     let ItemData::Node(view) = &item.data else {
+        // pc-check: allow(no-unwrap, "cache key-space invariant: ItemKey::Node entries always hold ItemData::Node (enforced at every insert site); single-threaded sim, no waiters to strand")
         unreachable!("node key holds node data")
     };
     let parent = match item.meta.parent {

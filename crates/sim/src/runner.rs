@@ -379,6 +379,7 @@ impl ProactiveRunner {
                 }
             }
         }
+        // pc-check: allow(no-unwrap, "deliberate loud livelock cap: 64 straight stale retries means the workload config is broken (driver outpaces every query) and silently returning a partial result would corrupt the measurement")
         panic!(
             "client {}: stale retries did not converge in 64 attempts — \
              the update driver is outpacing every query",

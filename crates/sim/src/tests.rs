@@ -294,6 +294,8 @@ mod churn_clients {
             if matches!(req, Request::RemainderVersioned { .. })
                 && self
                     .races
+                    // ordering: SeqCst — test counter; ordering immaterial,
+                    // strongest-for-free beats justifying anything weaker.
                     .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |r| r.checked_sub(1))
                     .is_ok()
             {

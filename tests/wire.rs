@@ -119,6 +119,40 @@ fn run_over_wire(
     (out, tstats, sstats, server)
 }
 
+/// Dual-sided stats reconciliation: with the transport disconnected and
+/// the server drained (both stat snapshots taken after every thread
+/// joined), the two ends of the single socket must agree byte-for-byte
+/// and frame-for-frame in both directions. Any counter drift — a path
+/// that counts on one side but not the other, or a counter read with
+/// torn batching — shows up here as an exact-inequality failure.
+fn assert_stats_reconcile(
+    tstats: &procache::server::WireTransportStats,
+    sstats: &procache::server::WireServerStats,
+) {
+    assert!(
+        tstats.reconciles(),
+        "client measured != modeled + overhead: {tstats:?}"
+    );
+    assert_eq!(
+        tstats.tx_bytes, sstats.rx_frame_bytes,
+        "every byte the clients sent was read by the server"
+    );
+    assert_eq!(
+        tstats.rx_bytes, sstats.tx_frame_bytes,
+        "every byte the server wrote was read by the clients"
+    );
+    assert_eq!(
+        sstats.requests_served, tstats.tx_frames,
+        "server answered exactly the frames the clients sent"
+    );
+    assert_eq!(
+        sstats.requests_served, tstats.rx_frames,
+        "every answer came back to a client"
+    );
+    assert_eq!(sstats.frames_rejected, 0);
+    assert_eq!(sstats.requests_aborted, 0);
+}
+
 #[test]
 fn wire_fleet_is_bit_identical_to_in_process_fleet() {
     let cfg = fleet_cfg(CacheModel::Proactive);
@@ -142,17 +176,9 @@ fn wire_fleet_is_bit_identical_to_in_process_fleet() {
         "merged summaries"
     );
 
-    // (c) whole-fleet measured-bytes cross-check.
+    // (c) whole-fleet measured-bytes cross-check, both sides of the wire.
     assert!(tstats.tx_frames > 0, "requests crossed the socket");
-    assert!(
-        tstats.reconciles(),
-        "measured != modeled + overhead: {tstats:?}"
-    );
-    assert_eq!(
-        sstats.requests_served, tstats.rx_frames,
-        "server answered exactly the frames the clients counted"
-    );
-    assert_eq!(sstats.frames_rejected, 0);
+    assert_stats_reconcile(&tstats, &sstats);
     assert_eq!(server.tracked_clients(), 0, "Forget crossed the wire too");
 }
 
@@ -172,13 +198,13 @@ fn batched_wire_fleet_is_bit_identical_to_in_process_fleet() {
         max_batch: 4,
         queue_cap: 16,
     };
-    let (wired, tstats, _sstats, server) = run_over_wire(cfg, clients, Some(batch), None);
+    let (wired, tstats, sstats, server) = run_over_wire(cfg, clients, Some(batch), None);
 
     assert_eq!(wired.per_client.len(), clients as usize);
     for (c, (a, b)) in wired.per_client.iter().zip(&in_proc.per_client).enumerate() {
         assert_same_stream(a, b, &format!("batched wire client {c}"));
     }
-    assert!(tstats.reconciles(), "{tstats:?}");
+    assert_stats_reconcile(&tstats, &sstats);
     assert_eq!(server.tracked_clients(), 0);
 }
 
@@ -205,7 +231,5 @@ fn churned_wire_fleet_completes_and_reconciles() {
 
     // Versioned envelopes (Stale refusals, epoch vectors, full refreshes)
     // travel the same frames and must reconcile just as exactly.
-    assert!(tstats.reconciles(), "{tstats:?}");
-    assert_eq!(sstats.requests_served, tstats.rx_frames);
-    assert_eq!(sstats.frames_rejected, 0);
+    assert_stats_reconcile(&tstats, &sstats);
 }

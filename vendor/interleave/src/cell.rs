@@ -1,0 +1,69 @@
+//! [`RaceCell`]: deliberately-unsynchronized shared data, the probe the
+//! vector-clock race detector watches. Model the *protected* state of a
+//! protocol as `RaceCell`s and its *protection* as shadow locks/atomics;
+//! any schedule in which two threads touch the cell without a
+//! happens-before edge between them is reported as a violation, even if
+//! the values happen to come out right.
+
+use crate::exec::cur;
+use crate::sync::{race_read, race_write};
+use std::cell::UnsafeCell;
+
+pub struct RaceCell<T> {
+    id: usize,
+    val: UnsafeCell<T>,
+}
+
+// Safety: the scheduler serializes all model threads, so the underlying
+// accesses are ordered at the OS level; the *model-level* race (absence
+// of a happens-before edge) is detected and reported, not executed as UB.
+unsafe impl<T: Send> Send for RaceCell<T> {}
+unsafe impl<T: Send> Sync for RaceCell<T> {}
+
+impl<T> RaceCell<T> {
+    pub fn new(value: T) -> Self {
+        RaceCell {
+            id: crate::sync::new_race_obj(),
+            val: UnsafeCell::new(value),
+        }
+    }
+
+    /// Reads through a closure; a read racing the last write aborts the
+    /// run with a violation.
+    pub fn with<R>(&self, f: impl FnOnce(&T) -> R) -> R {
+        let (exec, me) = cur();
+        let mut st = exec.op_start(me);
+        if let Err(msg) = race_read(&mut st, me, self.id) {
+            exec.violate_and_abort(st, msg);
+        }
+        st.push_trace(format!("t{me}: read cell #{}", self.id));
+        drop(st);
+        // Safety: serialized by the token; the race check above is the
+        // model-level verdict, not the memory-safety argument.
+        f(unsafe { &*self.val.get() })
+    }
+
+    /// Writes through a closure; a write racing any access since the
+    /// last write aborts the run with a violation.
+    pub fn with_mut<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        let (exec, me) = cur();
+        let mut st = exec.op_start(me);
+        if let Err(msg) = race_write(&mut st, me, self.id) {
+            exec.violate_and_abort(st, msg);
+        }
+        st.push_trace(format!("t{me}: write cell #{}", self.id));
+        drop(st);
+        // Safety: as in `with`.
+        f(unsafe { &mut *self.val.get() })
+    }
+}
+
+impl<T: Copy> RaceCell<T> {
+    pub fn get(&self) -> T {
+        self.with(|v| *v)
+    }
+
+    pub fn set(&self, value: T) {
+        self.with_mut(|v| *v = value);
+    }
+}

@@ -1,0 +1,430 @@
+//! The serialized scheduler: token passing between real OS threads, the
+//! depth-first schedule explorer, vector clocks and the violation plumbing.
+//!
+//! One `Execution` lives per run. Model threads are real `std::thread`s,
+//! but exactly one holds the *token* (`State::current`) at a time; the
+//! rest are parked on the state condvar. Every shadow-primitive operation
+//! calls [`Execution::op_start`], which records a scheduling decision
+//! (replayed from the exploration prefix or defaulted to "keep running"),
+//! hands the token to the chosen thread, and parks the caller until the
+//! token comes back. Because every handoff goes through the state mutex,
+//! consecutive operations of different threads are genuinely ordered at
+//! the OS level — the model's `UnsafeCell` accesses are data-race-free
+//! even though the *modeled* program may race (which the vector clocks,
+//! not the hardware, are there to see).
+
+use crate::{Builder, Violation};
+use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Panic payload used to tear a run down once it is aborting; never
+/// escapes [`Execution::run_once`].
+pub(crate) struct ModelAbort;
+
+/// Vector clock: `vc[t]` = newest event of thread `t` known to the owner.
+pub(crate) type Vc = Vec<u64>;
+
+pub(crate) fn vc_join(a: &mut Vc, b: &[u64]) {
+    if a.len() < b.len() {
+        a.resize(b.len(), 0);
+    }
+    for (i, &v) in b.iter().enumerate() {
+        if a[i] < v {
+            a[i] = v;
+        }
+    }
+}
+
+/// Does the event `(t, k)` happen-before a thread whose clock is `vc`?
+pub(crate) fn event_hb(t: usize, k: u64, vc: &[u64]) -> bool {
+    vc.get(t).copied().unwrap_or(0) >= k
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) enum Status {
+    Runnable,
+    /// Parked on a lock-shaped object (mutex or rwlock), by object id.
+    Blocked(usize),
+    /// Parked in `Condvar::wait`, by condvar object id.
+    Waiting(usize),
+    /// Parked in `JoinHandle::join`, by thread id.
+    Joining(usize),
+    Finished,
+}
+
+pub(crate) struct ThreadState {
+    pub status: Status,
+    pub vc: Vc,
+}
+
+/// One recorded scheduling decision of the current run.
+pub(crate) struct Point {
+    /// Thread that was running when the decision was taken.
+    pub prev: usize,
+    /// Runnable threads at the decision, ascending ids.
+    pub enabled: Vec<usize>,
+    /// Index into `enabled` actually taken.
+    pub chosen: usize,
+    /// Preemptions spent strictly before this point.
+    pub preempts_before: usize,
+}
+
+fn preempt_cost(p: &Point, choice: usize) -> usize {
+    usize::from(p.enabled.contains(&p.prev) && p.enabled[choice] != p.prev)
+}
+
+/// Per-object model state. Ids are allocation order within one run, so
+/// replays agree on them as long as the model is deterministic.
+pub(crate) enum ObjMeta {
+    /// Mutex or the write side of a RwLock: `owner` is the write holder,
+    /// `readers` the shared holders (empty for plain mutexes).
+    Lock {
+        owner: Option<usize>,
+        readers: Vec<usize>,
+        vc: Vc,
+    },
+    Cv {
+        vc: Vc,
+    },
+    Atomic {
+        val: u64,
+        vc: Vc,
+    },
+    /// A `RaceCell`: last write epoch and the read epochs since it.
+    Race {
+        write: Option<(usize, u64)>,
+        reads: Vec<(usize, u64)>,
+    },
+}
+
+pub(crate) struct State {
+    pub threads: Vec<ThreadState>,
+    pub current: usize,
+    pub live: usize,
+    pub aborting: bool,
+    pub violation: Option<Violation>,
+    prefix: Vec<usize>,
+    pub points: Vec<Point>,
+    preempts: usize,
+    pub objects: Vec<ObjMeta>,
+    trace: VecDeque<String>,
+    max_threads: usize,
+    max_steps: usize,
+}
+
+const TRACE_CAP: usize = 256;
+
+pub(crate) struct Execution {
+    st: Mutex<State>,
+    cv: Condvar,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+pub(crate) struct RunOutcome {
+    pub points: Vec<Point>,
+    pub violation: Option<Violation>,
+}
+
+thread_local! {
+    static CURRENT: std::cell::RefCell<Option<(Arc<Execution>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// The executing model thread's (execution, thread id); panics outside a
+/// model run — shadow primitives only work under `check`.
+pub(crate) fn cur() -> (Arc<Execution>, usize) {
+    CURRENT.with(|c| {
+        c.borrow()
+            .clone()
+            .expect("interleave primitive used outside interleave::check")
+    })
+}
+
+impl Execution {
+    pub(crate) fn run_once(
+        f: Arc<dyn Fn() + Send + Sync>,
+        prefix: &[usize],
+        cfg: &Builder,
+    ) -> RunOutcome {
+        let exec = Arc::new(Execution {
+            st: Mutex::new(State {
+                threads: vec![ThreadState {
+                    status: Status::Runnable,
+                    vc: vec![1],
+                }],
+                current: 0,
+                live: 1,
+                aborting: false,
+                violation: None,
+                prefix: prefix.to_vec(),
+                points: Vec::new(),
+                preempts: 0,
+                objects: Vec::new(),
+                trace: VecDeque::new(),
+                max_threads: cfg.max_threads,
+                max_steps: cfg.max_steps,
+            }),
+            cv: Condvar::new(),
+            handles: Mutex::new(Vec::new()),
+        });
+        exec.spawn_os_thread(0, move || f());
+
+        // Join every OS thread the run creates; model spawns push into
+        // `handles` while we drain, so re-check for late arrivals until
+        // the drain sees an empty list with no live thread left.
+        loop {
+            let h = lock(&exec.handles).pop();
+            match h {
+                Some(h) => {
+                    let _ = h.join();
+                }
+                None => {
+                    if lock(&exec.st).live == 0 {
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+            }
+        }
+
+        let mut st = lock(&exec.st);
+        RunOutcome {
+            points: std::mem::take(&mut st.points),
+            violation: st.violation.take(),
+        }
+    }
+
+    /// Spawns the OS-level carrier of model thread `id`: waits for the
+    /// token, runs the body, and hands the token on when it finishes.
+    /// A non-abort panic in the body is recorded as a violation.
+    pub(crate) fn spawn_os_thread(
+        self: &Arc<Self>,
+        id: usize,
+        body: impl FnOnce() + Send + 'static,
+    ) {
+        let exec = self.clone();
+        let h = std::thread::spawn(move || {
+            CURRENT.with(|c| *c.borrow_mut() = Some((exec.clone(), id)));
+            let run = panic::catch_unwind(AssertUnwindSafe(|| {
+                let st = lock(&exec.st);
+                drop(exec.wait_token(st, id));
+                body();
+            }));
+            let mut st = lock(&exec.st);
+            st.threads[id].status = Status::Finished;
+            st.threads[id].vc[id] += 1;
+            st.live -= 1;
+            // Joiners of this thread become runnable again; they take the
+            // happens-before edge from our final clock when they resume.
+            for t in 0..st.threads.len() {
+                if st.threads[t].status == Status::Joining(id) {
+                    st.threads[t].status = Status::Runnable;
+                }
+            }
+            match run {
+                Ok(()) => {
+                    st.push_trace(format!("t{id}: finished"));
+                    if !st.aborting {
+                        exec.schedule(&mut st, id);
+                    }
+                }
+                Err(p) if p.is::<ModelAbort>() => {}
+                Err(p) => {
+                    // `&*p`, not `&p`: a `&Box<dyn Any>` would itself
+                    // coerce to `&dyn Any` (the Box as the Any) and every
+                    // downcast would miss.
+                    let msg = panic_message(&*p);
+                    exec.violate(&mut st, format!("model thread t{id} panicked: {msg}"));
+                }
+            }
+            exec.cv.notify_all();
+        });
+        lock(&self.handles).push(h);
+    }
+
+    pub(crate) fn lock_st(&self) -> MutexGuard<'_, State> {
+        lock(&self.st)
+    }
+
+    /// A scheduling point: record a decision, hand the token to the
+    /// chosen thread, park until it comes back. Returns with the state
+    /// lock held and the token owned — callers perform their operation
+    /// under the returned guard.
+    pub(crate) fn op_start(&self, me: usize) -> MutexGuard<'_, State> {
+        let mut st = lock(&self.st);
+        self.schedule(&mut st, me);
+        self.wait_token(st, me)
+    }
+
+    /// Like [`op_start`](Self::op_start) but for a caller that has just
+    /// blocked itself (`Blocked`/`Waiting`/`Joining` already set): forces
+    /// a switch and parks until the caller is scheduled again.
+    pub(crate) fn block_and_wait<'a>(
+        &'a self,
+        mut st: MutexGuard<'a, State>,
+        me: usize,
+    ) -> MutexGuard<'a, State> {
+        self.schedule(&mut st, me);
+        self.wait_token(st, me)
+    }
+
+    /// Picks the next token holder among runnable threads, replaying the
+    /// exploration prefix when one is set and defaulting to "stay on the
+    /// same thread" (zero preemptions) past its end.
+    fn schedule(&self, st: &mut State, prev: usize) {
+        if st.aborting {
+            return;
+        }
+        let mut enabled: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.status == Status::Runnable)
+            .map(|(i, _)| i)
+            .collect();
+        // The running thread, when still enabled, goes first: the default
+        // (beyond-prefix) choice is always index 0, so it costs zero
+        // preemptions, and the DFS increment `chosen+1..` enumerates every
+        // other thread — the enumeration starts at the default and covers
+        // the full alternative set.
+        if let Some(pos) = enabled.iter().position(|&t| t == prev) {
+            enabled.remove(pos);
+            enabled.insert(0, prev);
+        }
+        if enabled.is_empty() {
+            if st.live > 0 {
+                let blocked: Vec<String> = st
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| t.status != Status::Finished)
+                    .map(|(i, t)| format!("t{i}: {:?}", t.status))
+                    .collect();
+                self.violate(
+                    st,
+                    format!("deadlock: no runnable thread [{}]", blocked.join(", ")),
+                );
+            }
+            self.cv.notify_all();
+            return;
+        }
+        if st.points.len() >= st.max_steps {
+            self.violate(
+                st,
+                format!(
+                    "model exceeded {} scheduling points in one run",
+                    st.max_steps
+                ),
+            );
+            return;
+        }
+        let i = st.points.len();
+        let chosen = if i < st.prefix.len() {
+            st.prefix[i].min(enabled.len() - 1)
+        } else {
+            0
+        };
+        let point = Point {
+            prev,
+            enabled: enabled.clone(),
+            chosen,
+            preempts_before: st.preempts,
+        };
+        st.preempts += preempt_cost(&point, chosen);
+        st.points.push(point);
+        st.current = enabled[chosen];
+        self.cv.notify_all();
+    }
+
+    /// Parks until the caller owns the token; tears down on abort.
+    fn wait_token<'a>(&'a self, mut st: MutexGuard<'a, State>, me: usize) -> MutexGuard<'a, State> {
+        loop {
+            if st.aborting {
+                drop(st);
+                panic::panic_any(ModelAbort);
+            }
+            if st.current == me && st.threads[me].status == Status::Runnable {
+                return st;
+            }
+            st = self.cv.wait(st).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// Records the run's first violation and flips the whole run into
+    /// abort mode; parked threads unwind via [`ModelAbort`] as they wake.
+    pub(crate) fn violate(&self, st: &mut State, message: String) {
+        if st.violation.is_none() {
+            st.violation = Some(Violation {
+                message,
+                trace: st.trace.iter().cloned().collect(),
+            });
+        }
+        st.aborting = true;
+        self.cv.notify_all();
+    }
+
+    /// [`violate`](Self::violate) for the thread that *caused* the
+    /// violation mid-operation: records it and unwinds immediately.
+    pub(crate) fn violate_and_abort(&self, mut st: MutexGuard<'_, State>, message: String) -> ! {
+        self.violate(&mut st, message);
+        drop(st);
+        panic::panic_any(ModelAbort)
+    }
+}
+
+impl State {
+    pub(crate) fn push_trace(&mut self, event: String) {
+        if self.trace.len() == TRACE_CAP {
+            self.trace.pop_front();
+        }
+        self.trace.push_back(event);
+    }
+
+    pub(crate) fn alloc_obj(&mut self, meta: ObjMeta) -> usize {
+        self.objects.push(meta);
+        self.objects.len() - 1
+    }
+
+    pub(crate) fn check_thread_budget(&self) -> Result<(), String> {
+        if self.threads.len() >= self.max_threads {
+            return Err(format!(
+                "model spawned more than {} threads — runaway spawn loop?",
+                self.max_threads
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Computes the next exploration prefix from a completed run's decision
+/// log: the deepest point with an untaken alternative whose preemption
+/// cost stays within `bound`. `None` once the space is exhausted.
+pub(crate) fn next_prefix(points: &[Point], bound: Option<usize>) -> Option<Vec<usize>> {
+    for i in (0..points.len()).rev() {
+        let p = &points[i];
+        for alt in p.chosen + 1..p.enabled.len() {
+            let cost = p.preempts_before + preempt_cost(p, alt);
+            if bound.is_none_or(|b| cost <= b) {
+                let mut prefix: Vec<usize> = points[..i].iter().map(|q| q.chosen).collect();
+                prefix.push(alt);
+                return Some(prefix);
+            }
+        }
+    }
+    None
+}
+
+fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}

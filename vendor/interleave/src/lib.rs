@@ -1,0 +1,184 @@
+//! A vendored miniature of [loom](https://github.com/tokio-rs/loom): an
+//! exhaustive-interleaving model checker for small concurrency protocols.
+//!
+//! A model is a closure run many times under [`check`] (or a tuned
+//! [`Builder`]). Inside the closure, threads are spawned with
+//! [`thread::spawn`] and communicate **only** through this crate's shadow
+//! primitives ([`sync::Mutex`], [`sync::Condvar`], [`sync::RwLock`], the
+//! [`sync::atomic`] types and the deliberately-unsynchronized
+//! [`cell::RaceCell`]). The runtime serializes the model's OS threads —
+//! exactly one runs at a time — and treats every operation on a shadow
+//! primitive as a *scheduling point*: a place where the depth-first
+//! explorer may hand the token to a different runnable thread. Across
+//! runs the explorer enumerates every distinct schedule (optionally
+//! bounded by a preemption budget, the classic CHESS trick: most bugs
+//! need only 1–2 forced preemptions), so an assertion that holds for
+//! every explored run holds for *every interleaving at this abstraction
+//! level*.
+//!
+//! What it checks, beyond the model's own asserts:
+//!
+//! - **Data races**, via vector clocks. Each thread and each
+//!   synchronization object carries a clock; `Release` stores publish the
+//!   writer's clock into the object, `Acquire` loads join it into the
+//!   reader, locks do both. A [`cell::RaceCell`] access that is not
+//!   happens-before-ordered against the previous write (or, for writes,
+//!   against every read since) is reported as a violation — this is what
+//!   catches a publish over a `Relaxed` flag.
+//! - **Deadlocks**: a state where live threads exist but none is
+//!   runnable aborts the run with the blocked-thread set.
+//!
+//! What it deliberately does **not** model: weak-memory *value*
+//! prediction. Execution is sequentially consistent (a load always sees
+//! the newest store), so stale-read bugs surface as happens-before races
+//! on the data they guard rather than as reordered values. Models must
+//! also be deterministic apart from scheduling — same inputs, same
+//! operations — or replay-based exploration loses its footing.
+//!
+//! ```
+//! use interleave::{cell::RaceCell, sync::atomic::{AtomicBool, Ordering}};
+//! use std::sync::Arc;
+//!
+//! // A publish over a Relaxed flag is a race on the payload: caught.
+//! let result = interleave::check(|| {
+//!     let cell = Arc::new(RaceCell::new(0u64));
+//!     let flag = Arc::new(AtomicBool::new(false));
+//!     let (c, f) = (cell.clone(), flag.clone());
+//!     let t = interleave::thread::spawn(move || {
+//!         c.set(42);
+//!         f.store(true, Ordering::Relaxed); // should be Release
+//!     });
+//!     if flag.load(Ordering::Acquire) {
+//!         let _ = cell.get();
+//!     }
+//!     t.join().unwrap();
+//! });
+//! assert!(result.is_err());
+//! ```
+
+pub mod cell;
+mod exec;
+pub mod sync;
+pub mod thread;
+
+#[cfg(test)]
+mod tests;
+
+use exec::Execution;
+use std::sync::Arc;
+
+/// Outcome of a completed exploration: how many schedules ran and
+/// whether the space was exhausted or truncated at
+/// [`Builder::max_schedules`].
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Number of distinct schedules executed.
+    pub schedules: usize,
+    /// `true` when every schedule within the preemption bound was
+    /// explored; `false` when the run count hit the cap first.
+    pub complete: bool,
+}
+
+/// A failed run: the first violation found (model assertion, data race,
+/// or deadlock), with the event trace of the offending schedule.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// What went wrong, e.g. `data race: write of cell #3 …`.
+    pub message: String,
+    /// The scheduling/operation log of the violating run, oldest first
+    /// (capped, so very long runs keep only the tail).
+    pub trace: Vec<String>,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{}", self.message)?;
+        writeln!(f, "schedule trace ({} events):", self.trace.len())?;
+        for t in &self.trace {
+            writeln!(f, "  {t}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for Violation {}
+
+/// Exploration configuration. The defaults explore exhaustively (no
+/// preemption bound) up to 100 000 schedules.
+#[derive(Clone, Debug)]
+pub struct Builder {
+    /// Maximum number of *preemptive* context switches per schedule — a
+    /// switch taken while the running thread was still runnable. Forced
+    /// switches (the running thread blocked or finished) are free.
+    /// `None` means unbounded, i.e. the full interleaving space.
+    pub preemption_bound: Option<usize>,
+    /// Hard cap on schedules; hitting it yields `complete: false`.
+    pub max_schedules: usize,
+    /// Hard cap on live model threads per run (spawn past it is a
+    /// violation — almost certainly a runaway loop in the model).
+    pub max_threads: usize,
+    /// Hard cap on scheduling points per run (ditto).
+    pub max_steps: usize,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Builder {
+            preemption_bound: None,
+            max_schedules: 100_000,
+            max_threads: 8,
+            max_steps: 200_000,
+        }
+    }
+}
+
+impl Builder {
+    pub fn new() -> Self {
+        Builder::default()
+    }
+
+    /// Runs `f` under every schedule the configuration admits.
+    ///
+    /// Returns the first [`Violation`] found, or a [`Report`] when every
+    /// explored schedule passed. `f` must confine all cross-thread
+    /// communication to this crate's shadow primitives.
+    pub fn check<F>(&self, f: F) -> Result<Report, Violation>
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let f = Arc::new(f);
+        let mut prefix: Vec<usize> = Vec::new();
+        let mut schedules = 0usize;
+        loop {
+            schedules += 1;
+            let run = Execution::run_once(f.clone(), &prefix, self);
+            if let Some(v) = run.violation {
+                return Err(v);
+            }
+            match exec::next_prefix(&run.points, self.preemption_bound) {
+                None => {
+                    return Ok(Report {
+                        schedules,
+                        complete: true,
+                    })
+                }
+                Some(_) if schedules >= self.max_schedules => {
+                    return Ok(Report {
+                        schedules,
+                        complete: false,
+                    })
+                }
+                Some(p) => prefix = p,
+            }
+        }
+    }
+}
+
+/// [`Builder::check`] with default settings: unbounded preemptions,
+/// up to 100 000 schedules.
+pub fn check<F>(f: F) -> Result<Report, Violation>
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Builder::default().check(f)
+}

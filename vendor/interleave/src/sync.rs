@@ -1,0 +1,576 @@
+//! Shadow synchronization primitives: the model-visible counterparts of
+//! `std::sync`. Every operation is a scheduling point, and every
+//! acquire/release carries the vector-clock edges the race detector
+//! consumes. The guarded data itself lives in `UnsafeCell`s — safe
+//! because the scheduler runs exactly one model thread at a time and the
+//! model-level lock states enforce the usual aliasing discipline on top.
+
+use crate::exec::{cur, event_hb, vc_join, ObjMeta, State, Status};
+use std::cell::UnsafeCell;
+use std::ops::{Deref, DerefMut};
+
+pub use std::sync::Arc;
+
+pub mod atomic {
+    pub use std::sync::atomic::Ordering;
+
+    use super::{acquire_edge, clear_obj_vc, new_obj, release_edge, with_atomic};
+    use crate::exec::{cur, ObjMeta};
+
+    fn is_acquire(o: Ordering) -> bool {
+        matches!(o, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+    }
+    fn is_release(o: Ordering) -> bool {
+        matches!(o, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+    }
+
+    macro_rules! shadow_atomic {
+        ($name:ident, $ty:ty, $to:expr, $from:expr) => {
+            /// Shadow atomic: sequentially-consistent *values* (a load
+            /// always sees the newest store), with happens-before edges
+            /// driven by the requested ordering — so a `Relaxed` publish
+            /// still races on the data it guards.
+            pub struct $name {
+                id: usize,
+            }
+
+            impl $name {
+                #[allow(clippy::redundant_closure_call)]
+                pub fn new(v: $ty) -> Self {
+                    $name {
+                        id: new_obj(ObjMeta::Atomic {
+                            val: ($to)(v),
+                            vc: Vec::new(),
+                        }),
+                    }
+                }
+
+                #[allow(clippy::redundant_closure_call)]
+                pub fn load(&self, order: Ordering) -> $ty {
+                    let (exec, me) = cur();
+                    let mut st = exec.op_start(me);
+                    if is_acquire(order) {
+                        acquire_edge(&mut st, me, self.id);
+                    }
+                    let v = with_atomic(&mut st, self.id, |val| *val);
+                    st.push_trace(format!("t{me}: load #{} -> {} ({order:?})", self.id, v));
+                    ($from)(v)
+                }
+
+                #[allow(clippy::redundant_closure_call)]
+                pub fn store(&self, v: $ty, order: Ordering) {
+                    let (exec, me) = cur();
+                    let mut st = exec.op_start(me);
+                    if is_release(order) {
+                        release_edge(&mut st, me, self.id);
+                    } else {
+                        // A relaxed store synchronizes-with nothing: wipe
+                        // the object's clock so a later Acquire load gets
+                        // no stale edge from an earlier Release store.
+                        clear_obj_vc(&mut st, self.id);
+                    }
+                    with_atomic(&mut st, self.id, |val| *val = ($to)(v));
+                    st.push_trace(format!(
+                        "t{me}: store #{} <- {} ({order:?})",
+                        self.id,
+                        ($to)(v)
+                    ));
+                }
+
+                #[allow(clippy::redundant_closure_call)]
+                pub fn swap(&self, v: $ty, order: Ordering) -> $ty {
+                    ($from)(self.rmw(order, |old| {
+                        let _ = old;
+                        ($to)(v)
+                    }))
+                }
+
+                #[allow(clippy::redundant_closure_call)]
+                pub fn compare_exchange(
+                    &self,
+                    current: $ty,
+                    new: $ty,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$ty, $ty> {
+                    let (exec, me) = cur();
+                    let mut st = exec.op_start(me);
+                    let old = with_atomic(&mut st, self.id, |val| *val);
+                    if old == ($to)(current) {
+                        if is_acquire(success) {
+                            acquire_edge(&mut st, me, self.id);
+                        }
+                        if is_release(success) {
+                            release_edge(&mut st, me, self.id);
+                        }
+                        with_atomic(&mut st, self.id, |val| *val = ($to)(new));
+                        st.push_trace(format!("t{me}: cas #{} {} -> {}", self.id, old, ($to)(new)));
+                        Ok(($from)(old))
+                    } else {
+                        if is_acquire(failure) {
+                            acquire_edge(&mut st, me, self.id);
+                        }
+                        st.push_trace(format!("t{me}: cas #{} failed at {}", self.id, old));
+                        Err(($from)(old))
+                    }
+                }
+
+                fn rmw(&self, order: Ordering, f: impl FnOnce(u64) -> u64) -> u64 {
+                    let (exec, me) = cur();
+                    let mut st = exec.op_start(me);
+                    if is_acquire(order) {
+                        acquire_edge(&mut st, me, self.id);
+                    }
+                    if is_release(order) {
+                        release_edge(&mut st, me, self.id);
+                    }
+                    let old = with_atomic(&mut st, self.id, |val| {
+                        let old = *val;
+                        *val = f(old);
+                        old
+                    });
+                    st.push_trace(format!("t{me}: rmw #{} (was {old})", self.id));
+                    old
+                }
+            }
+        };
+    }
+
+    shadow_atomic!(AtomicBool, bool, |v: bool| v as u64, |v: u64| v != 0);
+    shadow_atomic!(AtomicU32, u32, |v: u32| v as u64, |v: u64| v as u32);
+    shadow_atomic!(AtomicU64, u64, |v: u64| v, |v: u64| v);
+    shadow_atomic!(AtomicUsize, usize, |v: usize| v as u64, |v: u64| v as usize);
+
+    macro_rules! fetch_ops {
+        ($name:ident, $ty:ty, $to:expr, $from:expr) => {
+            impl $name {
+                #[allow(clippy::redundant_closure_call)]
+                pub fn fetch_add(&self, v: $ty, order: Ordering) -> $ty {
+                    ($from)(self.rmw(order, |old| old.wrapping_add(($to)(v))))
+                }
+                #[allow(clippy::redundant_closure_call)]
+                pub fn fetch_sub(&self, v: $ty, order: Ordering) -> $ty {
+                    ($from)(self.rmw(order, |old| old.wrapping_sub(($to)(v))))
+                }
+                #[allow(clippy::redundant_closure_call)]
+                pub fn fetch_or(&self, v: $ty, order: Ordering) -> $ty {
+                    ($from)(self.rmw(order, |old| old | ($to)(v)))
+                }
+            }
+        };
+    }
+
+    fetch_ops!(AtomicU32, u32, |v: u32| v as u64, |v: u64| v as u32);
+    fetch_ops!(AtomicU64, u64, |v: u64| v, |v: u64| v);
+    fetch_ops!(AtomicUsize, usize, |v: usize| v as u64, |v: u64| v as usize);
+}
+
+/// Allocates a model object on the current execution.
+fn new_obj(meta: ObjMeta) -> usize {
+    let (exec, _me) = cur();
+    let mut st = exec.lock_st();
+    st.alloc_obj(meta)
+}
+
+fn with_atomic<R>(st: &mut State, id: usize, f: impl FnOnce(&mut u64) -> R) -> R {
+    match &mut st.objects[id] {
+        ObjMeta::Atomic { val, .. } => f(val),
+        _ => unreachable!("object #{id} is not an atomic"),
+    }
+}
+
+fn obj_vc_mut(st: &mut State, id: usize) -> &mut crate::exec::Vc {
+    match &mut st.objects[id] {
+        ObjMeta::Lock { vc, .. } | ObjMeta::Cv { vc } | ObjMeta::Atomic { vc, .. } => vc,
+        ObjMeta::Race { .. } => unreachable!("RaceCell carries no sync clock"),
+    }
+}
+
+/// Acquire edge: the object's clock flows into the thread's.
+fn acquire_edge(st: &mut State, me: usize, id: usize) {
+    let ovc = obj_vc_mut(st, id).clone();
+    vc_join(&mut st.threads[me].vc, &ovc);
+}
+
+/// Release edge: the thread's clock flows into the object's, and the
+/// thread starts a new epoch.
+fn release_edge(st: &mut State, me: usize, id: usize) {
+    let tvc = st.threads[me].vc.clone();
+    vc_join(obj_vc_mut(st, id), &tvc);
+    st.threads[me].vc[me] += 1;
+}
+
+fn clear_obj_vc(st: &mut State, id: usize) {
+    obj_vc_mut(st, id).clear();
+}
+
+/// Shadow `std::sync::Mutex`: mutual exclusion enforced at the model
+/// level, lock/unlock as acquire/release clock edges, blocking as a
+/// scheduler state the deadlock detector can see.
+pub struct Mutex<T> {
+    pub(crate) id: usize,
+    data: UnsafeCell<T>,
+}
+
+// Safety: the scheduler serializes all access; the model-level lock state
+// enforces exclusive aliasing of `data`.
+unsafe impl<T: Send> Send for Mutex<T> {}
+unsafe impl<T: Send> Sync for Mutex<T> {}
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Self {
+        Mutex {
+            id: new_obj(ObjMeta::Lock {
+                owner: None,
+                readers: Vec::new(),
+                vc: Vec::new(),
+            }),
+            data: UnsafeCell::new(value),
+        }
+    }
+
+    /// Blocking lock. No poisoning: a model-thread panic is a violation
+    /// that aborts the whole run, so guards never outlive a panic.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.raw_lock();
+        MutexGuard { lock: self }
+    }
+
+    pub(crate) fn raw_lock(&self) {
+        let (exec, me) = cur();
+        let mut st = exec.op_start(me);
+        loop {
+            let free = match &mut st.objects[self.id] {
+                ObjMeta::Lock { owner, readers, .. } => {
+                    if owner.is_none() && readers.is_empty() {
+                        *owner = Some(me);
+                        true
+                    } else {
+                        false
+                    }
+                }
+                _ => unreachable!("object #{} is not a lock", self.id),
+            };
+            if free {
+                acquire_edge(&mut st, me, self.id);
+                st.push_trace(format!("t{me}: lock #{}", self.id));
+                return;
+            }
+            st.threads[me].status = Status::Blocked(self.id);
+            st.push_trace(format!("t{me}: blocked on #{}", self.id));
+            st = exec.block_and_wait(st, me);
+        }
+    }
+
+    pub(crate) fn raw_unlock(&self) {
+        let (exec, me) = cur();
+        let mut st = exec.op_start(me);
+        unlock_inner(&mut st, me, self.id);
+        st.push_trace(format!("t{me}: unlock #{}", self.id));
+    }
+}
+
+/// Release-and-wake half of an unlock, usable mid-operation (condvar
+/// wait releases the mutex without a second scheduling point).
+fn unlock_inner(st: &mut State, me: usize, id: usize) {
+    release_edge(st, me, id);
+    match &mut st.objects[id] {
+        ObjMeta::Lock { owner, readers, .. } => {
+            if *owner == Some(me) {
+                *owner = None;
+            } else {
+                readers.retain(|&r| r != me);
+            }
+        }
+        _ => unreachable!("object #{id} is not a lock"),
+    }
+    // Wake every thread parked on this lock; they re-contend and the
+    // losers re-block — which is exactly the nondeterminism to explore.
+    for t in 0..st.threads.len() {
+        if st.threads[t].status == Status::Blocked(id) {
+            st.threads[t].status = Status::Runnable;
+        }
+    }
+}
+
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // Safety: model-level mutual exclusion (see Mutex).
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // Safety: model-level mutual exclusion (see Mutex).
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Dropped while unwinding (model abort or a failed assert): the
+        // run is already condemned — re-entering the scheduler here would
+        // double-panic, so leave the model lock state as-is.
+        if std::thread::panicking() {
+            return;
+        }
+        self.lock.raw_unlock();
+    }
+}
+
+/// Shadow condition variable. `wait` atomically releases the guard's
+/// mutex and parks; a notify that happens while nobody waits is lost,
+/// exactly like the real thing — lost-wakeup bugs stay observable.
+pub struct Condvar {
+    id: usize,
+}
+
+impl Condvar {
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        Condvar {
+            id: new_obj(ObjMeta::Cv { vc: Vec::new() }),
+        }
+    }
+
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        let m = guard.lock;
+        std::mem::forget(guard); // released manually below, no double unlock
+        let (exec, me) = cur();
+        let mut st = exec.op_start(me);
+        unlock_inner(&mut st, me, m.id);
+        st.threads[me].status = Status::Waiting(self.id);
+        st.push_trace(format!("t{me}: wait #{} (released #{})", self.id, m.id));
+        st = exec.block_and_wait(st, me);
+        // Notified: take the notifier's published clock, then re-acquire.
+        acquire_edge(&mut st, me, self.id);
+        drop(st);
+        m.raw_lock();
+        MutexGuard { lock: m }
+    }
+
+    pub fn notify_all(&self) {
+        let (exec, me) = cur();
+        let mut st = exec.op_start(me);
+        release_edge(&mut st, me, self.id);
+        let mut woke = 0;
+        for t in 0..st.threads.len() {
+            if st.threads[t].status == Status::Waiting(self.id) {
+                st.threads[t].status = Status::Runnable;
+                woke += 1;
+            }
+        }
+        st.push_trace(format!("t{me}: notify_all #{} (woke {woke})", self.id));
+    }
+
+    /// Wakes the lowest-id waiter (deterministically — the model explores
+    /// schedules, not wakeup-order nondeterminism).
+    pub fn notify_one(&self) {
+        let (exec, me) = cur();
+        let mut st = exec.op_start(me);
+        release_edge(&mut st, me, self.id);
+        for t in 0..st.threads.len() {
+            if st.threads[t].status == Status::Waiting(self.id) {
+                st.threads[t].status = Status::Runnable;
+                st.push_trace(format!("t{me}: notify_one #{} (woke t{t})", self.id));
+                return;
+            }
+        }
+        st.push_trace(format!("t{me}: notify_one #{} (lost)", self.id));
+    }
+}
+
+/// Shadow `std::sync::RwLock`: shared readers, one writer, writer
+/// excluded by readers and vice versa; both sides exchange clock edges
+/// through the lock so reader-observed state is happens-before ordered.
+pub struct RwLock<T> {
+    id: usize,
+    data: UnsafeCell<T>,
+}
+
+// Safety: as for Mutex; readers only receive `&T`.
+unsafe impl<T: Send> Send for RwLock<T> {}
+unsafe impl<T: Send + Sync> Sync for RwLock<T> {}
+
+impl<T> RwLock<T> {
+    pub fn new(value: T) -> Self {
+        RwLock {
+            id: new_obj(ObjMeta::Lock {
+                owner: None,
+                readers: Vec::new(),
+                vc: Vec::new(),
+            }),
+            data: UnsafeCell::new(value),
+        }
+    }
+
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        let (exec, me) = cur();
+        let mut st = exec.op_start(me);
+        loop {
+            let ok = match &mut st.objects[self.id] {
+                ObjMeta::Lock { owner, readers, .. } => {
+                    if owner.is_none() {
+                        readers.push(me);
+                        true
+                    } else {
+                        false
+                    }
+                }
+                _ => unreachable!("object #{} is not a lock", self.id),
+            };
+            if ok {
+                acquire_edge(&mut st, me, self.id);
+                st.push_trace(format!("t{me}: read-lock #{}", self.id));
+                return RwLockReadGuard { lock: self };
+            }
+            st.threads[me].status = Status::Blocked(self.id);
+            st = exec.block_and_wait(st, me);
+        }
+    }
+
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        let (exec, me) = cur();
+        let mut st = exec.op_start(me);
+        loop {
+            let ok = match &mut st.objects[self.id] {
+                ObjMeta::Lock { owner, readers, .. } => {
+                    if owner.is_none() && readers.is_empty() {
+                        *owner = Some(me);
+                        true
+                    } else {
+                        false
+                    }
+                }
+                _ => unreachable!("object #{} is not a lock", self.id),
+            };
+            if ok {
+                acquire_edge(&mut st, me, self.id);
+                st.push_trace(format!("t{me}: write-lock #{}", self.id));
+                return RwLockWriteGuard { lock: self };
+            }
+            st.threads[me].status = Status::Blocked(self.id);
+            st = exec.block_and_wait(st, me);
+        }
+    }
+}
+
+pub struct RwLockReadGuard<'a, T> {
+    lock: &'a RwLock<T>,
+}
+
+impl<T> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // Safety: readers hold the model-level shared lock.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            return; // condemned run; see MutexGuard::drop
+        }
+        let (exec, me) = cur();
+        let mut st = exec.op_start(me);
+        unlock_inner(&mut st, me, self.lock.id);
+        st.push_trace(format!("t{me}: read-unlock #{}", self.lock.id));
+    }
+}
+
+pub struct RwLockWriteGuard<'a, T> {
+    lock: &'a RwLock<T>,
+}
+
+impl<T> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // Safety: the writer holds the model-level exclusive lock.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // Safety: the writer holds the model-level exclusive lock.
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            return; // condemned run; see MutexGuard::drop
+        }
+        let (exec, me) = cur();
+        let mut st = exec.op_start(me);
+        unlock_inner(&mut st, me, self.lock.id);
+        st.push_trace(format!("t{me}: write-unlock #{}", self.lock.id));
+    }
+}
+
+pub(crate) fn race_read(st: &mut State, me: usize, id: usize) -> Result<(), String> {
+    let my_vc = st.threads[me].vc.clone();
+    let my_epoch = my_vc[me];
+    match &mut st.objects[id] {
+        ObjMeta::Race { write, reads } => {
+            if let Some((t, k)) = *write {
+                if t != me && !event_hb(t, k, &my_vc) {
+                    return Err(format!(
+                        "data race: t{me} reads cell #{id} concurrently with t{t}'s write \
+                         (no happens-before edge — missing Release/Acquire?)"
+                    ));
+                }
+            }
+            match reads.iter_mut().find(|(t, _)| *t == me) {
+                Some(r) => r.1 = r.1.max(my_epoch),
+                None => reads.push((me, my_epoch)),
+            }
+            Ok(())
+        }
+        _ => unreachable!("object #{id} is not a RaceCell"),
+    }
+}
+
+pub(crate) fn race_write(st: &mut State, me: usize, id: usize) -> Result<(), String> {
+    let my_vc = st.threads[me].vc.clone();
+    let my_epoch = my_vc[me];
+    match &mut st.objects[id] {
+        ObjMeta::Race { write, reads } => {
+            if let Some((t, k)) = *write {
+                if t != me && !event_hb(t, k, &my_vc) {
+                    return Err(format!(
+                        "data race: t{me} writes cell #{id} concurrently with t{t}'s write \
+                         (no happens-before edge — missing Release/Acquire?)"
+                    ));
+                }
+            }
+            for &(t, k) in reads.iter() {
+                if t != me && !event_hb(t, k, &my_vc) {
+                    return Err(format!(
+                        "data race: t{me} writes cell #{id} concurrently with t{t}'s read \
+                         (no happens-before edge — missing Release/Acquire?)"
+                    ));
+                }
+            }
+            reads.clear();
+            *write = Some((me, my_epoch));
+            Ok(())
+        }
+        _ => unreachable!("object #{id} is not a RaceCell"),
+    }
+}
+
+pub(crate) fn new_race_obj() -> usize {
+    new_obj(ObjMeta::Race {
+        write: None,
+        reads: Vec::new(),
+    })
+}

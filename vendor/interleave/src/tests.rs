@@ -1,0 +1,251 @@
+//! Self-tests: the explorer must prove sound protocols sound, and —
+//! just as important — *catch* the seeded broken ones. A model checker
+//! that cannot flag a planted bug proves nothing when it passes.
+
+use crate::cell::RaceCell;
+use crate::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use crate::sync::{Arc, Condvar, Mutex, RwLock};
+use crate::{thread, Builder, Report, Violation};
+
+#[test]
+fn mutex_counter_is_sound_and_explored() {
+    let r = crate::check(|| {
+        let n = Arc::new(Mutex::new(0u64));
+        let hs: Vec<_> = (0..2)
+            .map(|_| {
+                let n = n.clone();
+                thread::spawn(move || {
+                    *n.lock() += 1;
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+        assert_eq!(*n.lock(), 2);
+    })
+    .unwrap();
+    assert!(r.complete, "space must be exhausted");
+    assert!(r.schedules > 1, "two racing threads admit >1 schedule");
+}
+
+#[test]
+fn unsynchronized_counter_is_caught() {
+    // The classic racy toy: read-modify-write with no synchronization.
+    let err = crate::check(|| {
+        let n = Arc::new(RaceCell::new(0u64));
+        let hs: Vec<_> = (0..2)
+            .map(|_| {
+                let n = n.clone();
+                thread::spawn(move || {
+                    let v = n.get();
+                    n.set(v + 1);
+                })
+            })
+            .collect();
+        for h in hs {
+            let _ = h.join();
+        }
+    })
+    .unwrap_err();
+    assert!(err.message.contains("data race"), "{}", err.message);
+    assert!(!err.trace.is_empty(), "violations carry their schedule");
+}
+
+fn publish_model(flag_order: Ordering) -> Result<Report, Violation> {
+    crate::check(move || {
+        let cell = Arc::new(RaceCell::new(0u64));
+        let flag = Arc::new(AtomicBool::new(false));
+        let (c, f) = (cell.clone(), flag.clone());
+        let t = thread::spawn(move || {
+            c.set(42);
+            f.store(true, flag_order);
+        });
+        if flag.load(Ordering::Acquire) {
+            assert_eq!(cell.get(), 42);
+        }
+        t.join().unwrap();
+    })
+}
+
+#[test]
+fn release_publish_is_clean() {
+    let r = publish_model(Ordering::Release).unwrap();
+    assert!(r.complete);
+}
+
+#[test]
+fn relaxed_publish_mutant_is_caught() {
+    // Weakening the publish to Relaxed severs the happens-before edge:
+    // the reader that sees the flag races the writer on the payload.
+    let err = publish_model(Ordering::Relaxed).unwrap_err();
+    assert!(err.message.contains("data race"), "{}", err.message);
+}
+
+#[test]
+fn ab_ba_deadlock_is_caught() {
+    let err = crate::check(|| {
+        let a = Arc::new(Mutex::new(()));
+        let b = Arc::new(Mutex::new(()));
+        let (a2, b2) = (a.clone(), b.clone());
+        let t = thread::spawn(move || {
+            let _g1 = a2.lock();
+            let _g2 = b2.lock();
+        });
+        {
+            let _g1 = b.lock();
+            let _g2 = a.lock();
+        }
+        let _ = t.join();
+    })
+    .unwrap_err();
+    assert!(err.message.contains("deadlock"), "{}", err.message);
+}
+
+#[test]
+fn failing_model_assertions_become_violations() {
+    let err = crate::check(|| {
+        let n = Arc::new(AtomicU64::new(0));
+        let n2 = n.clone();
+        let t = thread::spawn(move || n2.fetch_add(1, Ordering::Relaxed));
+        // Wrong under the child-first schedule: the add may already be in.
+        assert_eq!(n.load(Ordering::Relaxed), 0, "seeded wrong assert");
+        t.join().unwrap();
+    })
+    .unwrap_err();
+    assert!(
+        err.message.contains("seeded wrong assert"),
+        "{}",
+        err.message
+    );
+}
+
+#[test]
+fn exhaustive_exploration_visits_every_sc_outcome() {
+    use std::collections::HashSet;
+    use std::sync::Mutex as StdMutex;
+    let seen = Arc::new(StdMutex::new(HashSet::new()));
+    let sink = seen.clone();
+    crate::check(move || {
+        let a = Arc::new(AtomicU64::new(0));
+        let b = Arc::new(AtomicU64::new(0));
+        let (a2, b2) = (a.clone(), b.clone());
+        let t = thread::spawn(move || {
+            a2.store(1, Ordering::Relaxed);
+            b2.load(Ordering::Relaxed)
+        });
+        b.store(1, Ordering::Relaxed);
+        let r1 = a.load(Ordering::Relaxed);
+        let r2 = t.join().unwrap();
+        sink.lock().unwrap().insert((r1, r2));
+    })
+    .unwrap();
+    let seen = seen.lock().unwrap();
+    for want in [(1, 1), (0, 1), (1, 0)] {
+        assert!(seen.contains(&want), "SC outcome {want:?} never explored");
+    }
+    assert!(
+        !seen.contains(&(0, 0)),
+        "sequential consistency cannot lose both stores"
+    );
+}
+
+#[test]
+fn preemption_bounding_prunes_the_space() {
+    fn model() -> impl Fn() + Send + Sync {
+        move || {
+            let n = Arc::new(Mutex::new(0u64));
+            let hs: Vec<_> = (0..2)
+                .map(|_| {
+                    let n = n.clone();
+                    thread::spawn(move || {
+                        for _ in 0..2 {
+                            *n.lock() += 1;
+                        }
+                    })
+                })
+                .collect();
+            for h in hs {
+                h.join().unwrap();
+            }
+            assert_eq!(*n.lock(), 4);
+        }
+    }
+    let unbounded = Builder::default().check(model()).unwrap();
+    let bounded = Builder {
+        preemption_bound: Some(1),
+        ..Builder::default()
+    }
+    .check(model())
+    .unwrap();
+    assert!(unbounded.complete && bounded.complete);
+    assert!(
+        bounded.schedules < unbounded.schedules,
+        "bound 1: {} vs unbounded: {}",
+        bounded.schedules,
+        unbounded.schedules
+    );
+}
+
+#[test]
+fn condvar_with_predicate_is_sound() {
+    let r = crate::check(|| {
+        let q = Arc::new((Mutex::new(0u64), Condvar::new()));
+        let q2 = q.clone();
+        let t = thread::spawn(move || {
+            let (m, cv) = &*q2;
+            let mut g = m.lock();
+            *g = 1;
+            cv.notify_all();
+            drop(g);
+        });
+        let (m, cv) = &*q;
+        let mut g = m.lock();
+        while *g == 0 {
+            g = cv.wait(g);
+        }
+        assert_eq!(*g, 1);
+        drop(g);
+        t.join().unwrap();
+    })
+    .unwrap();
+    assert!(r.complete);
+}
+
+#[test]
+fn lost_wakeup_is_caught_as_deadlock() {
+    // No predicate around the wait: the schedule where the notifier runs
+    // first loses the wakeup and parks the waiter forever.
+    let err = crate::check(|| {
+        let q = Arc::new((Mutex::new(()), Condvar::new()));
+        let q2 = q.clone();
+        let t = thread::spawn(move || {
+            q2.1.notify_all();
+        });
+        let g = q.0.lock();
+        let _g = q.1.wait(g);
+        let _ = t.join();
+    })
+    .unwrap_err();
+    assert!(err.message.contains("deadlock"), "{}", err.message);
+}
+
+#[test]
+fn rwlock_readers_share_and_exclude_the_writer() {
+    let r = crate::check(|| {
+        let l = Arc::new(RwLock::new(0u64));
+        let l2 = l.clone();
+        let t = thread::spawn(move || {
+            *l2.write() += 1;
+        });
+        {
+            let g = l.read();
+            let v = *g;
+            assert!(v == 0 || v == 1);
+        }
+        t.join().unwrap();
+        assert_eq!(*l.read(), 1);
+    })
+    .unwrap();
+    assert!(r.complete);
+}

@@ -1,0 +1,77 @@
+//! Shadow `std::thread`: spawn and join as model operations. Spawn and
+//! join both carry the usual happens-before edges (everything the parent
+//! did is visible to the child; everything the child did is visible to
+//! its joiner), and a parked joiner is a scheduler state the deadlock
+//! detector can see.
+
+use crate::exec::{cur, vc_join, Status};
+use std::sync::{Arc, Mutex};
+
+pub struct JoinHandle<T> {
+    id: usize,
+    result: Arc<Mutex<Option<std::thread::Result<T>>>>,
+}
+
+/// Spawns a model thread. The scheduler decides when (and whether,
+/// before other operations) the child first runs — the spawn itself is a
+/// scheduling point like any other.
+pub fn spawn<T, F>(f: F) -> JoinHandle<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let (exec, me) = cur();
+    let mut st = exec.op_start(me);
+    if let Err(msg) = st.check_thread_budget() {
+        exec.violate_and_abort(st, msg);
+    }
+    let child = st.threads.len();
+    // Spawn edge: the child begins with everything the parent has seen,
+    // and both sides start fresh epochs.
+    let mut vc = st.threads[me].vc.clone();
+    if vc.len() <= child {
+        vc.resize(child + 1, 0);
+    }
+    vc[child] += 1;
+    st.threads.push(crate::exec::ThreadState {
+        status: Status::Runnable,
+        vc,
+    });
+    st.threads[me].vc[me] += 1;
+    st.live += 1;
+    st.push_trace(format!("t{me}: spawned t{child}"));
+    drop(st);
+
+    let result = Arc::new(Mutex::new(None));
+    let slot = result.clone();
+    exec.spawn_os_thread(child, move || {
+        let out = f();
+        *slot.lock().unwrap_or_else(|p| p.into_inner()) = Some(Ok(out));
+    });
+    JoinHandle { id: child, result }
+}
+
+impl<T> JoinHandle<T> {
+    /// Blocks (in model time) until the thread finishes. A child that
+    /// panicked already aborted the whole run as a violation, so unlike
+    /// `std`, the `Err` arm only reports a missing result after abort.
+    pub fn join(self) -> std::thread::Result<T> {
+        let (exec, me) = cur();
+        let mut st = exec.op_start(me);
+        loop {
+            if st.threads[self.id].status == Status::Finished {
+                let cvc = st.threads[self.id].vc.clone();
+                vc_join(&mut st.threads[me].vc, &cvc);
+                st.push_trace(format!("t{me}: joined t{}", self.id));
+                drop(st);
+                return match self.result.lock().unwrap_or_else(|p| p.into_inner()).take() {
+                    Some(r) => r,
+                    None => Err(Box::new("joined thread left no result (aborted run)")),
+                };
+            }
+            st.threads[me].status = Status::Joining(self.id);
+            st.push_trace(format!("t{me}: joining t{}", self.id));
+            st = exec.block_and_wait(st, me);
+        }
+    }
+}
